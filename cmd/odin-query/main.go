@@ -1,0 +1,83 @@
+// Command odin-query executes an aggregation query against a generated
+// dash-cam stream, using either the static baseline or the drift-aware
+// ODIN pipeline.
+//
+// Example:
+//
+//	odin-query -n 200 "SELECT COUNT(detections) FROM stream USING MODEL odin WHERE class='car'"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"odin"
+	"odin/internal/query"
+	"odin/internal/synth"
+)
+
+func main() {
+	n := flag.Int("n", 200, "number of frames to generate")
+	subset := flag.String("subset", "full", "frame distribution: full, day, night, rain, snow")
+	seed := flag.Uint64("seed", 5, "random seed")
+	warm := flag.Int("warm", 400, "warm-up frames per phase before querying (builds specialists)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: odin-query [flags] \"SELECT ...\"")
+		os.Exit(2)
+	}
+	sql := flag.Arg(0)
+
+	sub := map[string]odin.Subset{
+		"full": odin.FullData, "day": odin.DayData, "night": odin.NightData,
+		"rain": odin.RainData, "snow": odin.SnowData,
+	}[*subset]
+
+	sys, err := odin.New(odin.Options{
+		Seed:            *seed,
+		BootstrapFrames: 300,
+		BootstrapEpochs: 4,
+		BaselineEpochs:  20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "bootstrapping...")
+	if err := sys.Bootstrap(nil); err != nil {
+		log.Fatal(err)
+	}
+	if *warm > 0 {
+		fmt.Fprintln(os.Stderr, "warming the pipeline (drift recovery)...")
+		for _, s := range []odin.Subset{odin.DayData, odin.NightData} {
+			for _, f := range sys.GenerateFrames(s, *warm) {
+				sys.Process(f)
+			}
+		}
+	}
+
+	frames := sys.GenerateFrames(sub, *n)
+	res, err := sys.Query(sql, frames)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query:    %s\n", sql)
+	fmt.Printf("frames:   %d scanned, %d filtered, %d processed by model\n",
+		res.FramesScanned, res.FramesFiltered, res.ModelFrames)
+	fmt.Printf("count:    %d\n", res.Count)
+	if res.FramesFiltered > 0 {
+		fmt.Printf("reduction: %.0f%%\n", res.DataReduction()*100)
+	}
+
+	// Report accuracy against ground truth for COUNT ... WHERE class queries.
+	if q, err := query.Parse(sql); err == nil && q.Where != nil {
+		for cls := 0; cls < synth.NumClasses; cls++ {
+			if synth.ClassName(cls) == q.Where.Value {
+				truth := query.TrueCounts(frames, cls)
+				fmt.Printf("accuracy: %.3f (vs ground truth)\n",
+					query.QueryAccuracy(res.PerFrame, truth))
+			}
+		}
+	}
+}

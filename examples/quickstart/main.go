@@ -1,0 +1,59 @@
+// Quickstart: bootstrap an ODIN system, stream drifting dash-cam frames
+// through it, and watch it detect drift and deploy specialized models.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"odin"
+)
+
+func main() {
+	// A small system: quick bootstrap budgets so this runs in ~a minute.
+	sys, err := odin.New(odin.Options{
+		Seed:            42,
+		BootstrapFrames: 300,
+		BootstrapEpochs: 4,
+		BaselineEpochs:  15,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("bootstrapping (training DA-GAN projection + baseline detector)...")
+	if err := sys.Bootstrap(nil); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: clear day-time driving. ODIN discovers its first concept
+	// cluster and trains a specialist for it.
+	fmt.Println("phase 1: streaming DAY frames")
+	for _, f := range sys.GenerateFrames(odin.DayData, 400) {
+		r := sys.Process(f)
+		if r.Drift != nil {
+			fmt.Printf("  drift detected at frame %d: new cluster %s\n",
+				sys.Stats().Frames, r.Drift.Cluster.Label)
+		}
+	}
+
+	// Phase 2: night falls — the input distribution shifts. ODIN detects
+	// the drift and recovers with a night specialist.
+	fmt.Println("phase 2: streaming NIGHT frames (drift!)")
+	for _, f := range sys.GenerateFrames(odin.NightData, 400) {
+		r := sys.Process(f)
+		if r.Drift != nil {
+			fmt.Printf("  drift detected at frame %d: new cluster %s\n",
+				sys.Stats().Frames, r.Drift.Cluster.Label)
+		}
+	}
+
+	st := sys.Stats()
+	fmt.Println()
+	fmt.Printf("frames processed:   %d\n", st.Frames)
+	fmt.Printf("drift events:       %d\n", st.DriftEvents)
+	fmt.Printf("clusters found:     %d\n", sys.NumClusters())
+	fmt.Printf("specialist models:  %d\n", sys.NumModels())
+	fmt.Printf("simulated FPS:      %.0f\n", st.FPS())
+	fmt.Printf("model memory:       %.0f MB\n", sys.MemoryMB())
+}

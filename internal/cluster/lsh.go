@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"odin/internal/tensor"
+)
+
+// LSHIndex is a random-hyperplane locality-sensitive hash over latent
+// points. The paper's §7 notes that DETECTOR's per-input scan over all
+// cluster ∆-bands degrades as clusters accumulate and suggests LSH as the
+// remedy; this index implements that remedy: it prunes the candidate
+// clusters for a query to those sharing a hash bucket in at least one
+// table, falling back to the full scan when no bucket matches.
+type LSHIndex struct {
+	Tables int // number of hash tables
+	Bits   int // hyperplanes (bits) per table
+	Dim    int
+
+	planes  [][][]float64 // [table][bit] → hyperplane normal
+	biases  [][]float64   // [table][bit] → hyperplane offset
+	buckets []map[uint64][]*Cluster
+}
+
+// NewLSHIndex builds an index for dim-dimensional latents.
+func NewLSHIndex(dim, tables, bits int, seed uint64) *LSHIndex {
+	if tables <= 0 {
+		tables = 4
+	}
+	if bits <= 0 || bits > 60 {
+		bits = 8
+	}
+	rng := tensor.NewRNG(seed)
+	idx := &LSHIndex{Tables: tables, Bits: bits, Dim: dim}
+	idx.planes = make([][][]float64, tables)
+	idx.biases = make([][]float64, tables)
+	idx.buckets = make([]map[uint64][]*Cluster, tables)
+	for t := 0; t < tables; t++ {
+		idx.planes[t] = make([][]float64, bits)
+		idx.biases[t] = make([]float64, bits)
+		for b := 0; b < bits; b++ {
+			idx.planes[t][b] = rng.NormVec(dim)
+			// Offset hyperplanes make the hash translation-sensitive, so a
+			// cluster sitting at the origin still hashes consistently.
+			idx.biases[t][b] = rng.Norm() * 2
+		}
+		idx.buckets[t] = make(map[uint64][]*Cluster)
+	}
+	return idx
+}
+
+// hash computes the signature of a point in one table.
+func (l *LSHIndex) hash(table int, z []float64) uint64 {
+	var sig uint64
+	for b, plane := range l.planes[table] {
+		if tensor.Dot(plane, z)+l.biases[table][b] >= 0 {
+			sig |= 1 << uint(b)
+		}
+	}
+	return sig
+}
+
+// Insert registers a cluster under its centroid's buckets. Call again
+// after significant centroid movement (Rebuild handles the common case).
+func (l *LSHIndex) Insert(c *Cluster) {
+	if c.Centroid() == nil {
+		return
+	}
+	for t := 0; t < l.Tables; t++ {
+		sig := l.hash(t, c.Centroid())
+		l.buckets[t][sig] = append(l.buckets[t][sig], c)
+	}
+}
+
+// Rebuild reindexes all clusters of a set (centroids drift as clusters
+// absorb points, so periodic rebuilds keep buckets fresh).
+func (l *LSHIndex) Rebuild(s *Set) {
+	for t := range l.buckets {
+		l.buckets[t] = make(map[uint64][]*Cluster)
+	}
+	for _, c := range s.Permanent {
+		l.Insert(c)
+	}
+}
+
+// Candidates returns the clusters sharing at least one bucket with z,
+// deduplicated. An empty result means the caller should fall back to a
+// full scan.
+func (l *LSHIndex) Candidates(z []float64) []*Cluster {
+	seen := make(map[*Cluster]bool)
+	var out []*Cluster
+	for t := 0; t < l.Tables; t++ {
+		for _, c := range l.buckets[t][l.hash(t, z)] {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// NearestWithIndex returns the nearest cluster to z using the index's
+// candidate set, falling back to the set's full scan when the index
+// returns nothing.
+func (l *LSHIndex) NearestWithIndex(s *Set, z []float64) *Cluster {
+	cands := l.Candidates(z)
+	if len(cands) == 0 {
+		cs, _ := s.NearestRaw(z, 1)
+		if len(cs) == 0 {
+			return nil
+		}
+		return cs[0]
+	}
+	var best *Cluster
+	bestD := 0.0
+	for _, c := range cands {
+		d := c.RawDistance(z)
+		if best == nil || d < bestD {
+			best = c
+			bestD = d
+		}
+	}
+	return best
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"odin/internal/tensor"
+)
+
+func buildIndexedSet(t *testing.T, seed uint64, centres [][]float64) (*Set, *LSHIndex) {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	s := NewSet(quickConfig())
+	for _, c := range centres {
+		for i := 0; i < 300; i++ {
+			s.Observe(gaussianBlob(rng, c, 0.3))
+		}
+	}
+	if len(s.Permanent) != len(centres) {
+		t.Skipf("clustering produced %d clusters, want %d", len(s.Permanent), len(centres))
+	}
+	idx := NewLSHIndex(len(centres[0]), 6, 6, 1)
+	idx.Rebuild(s)
+	return s, idx
+}
+
+func TestLSHSamePointSameBucket(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		idx := NewLSHIndex(8, 3, 8, seed)
+		z := rng.NormVec(8)
+		for tb := 0; tb < idx.Tables; tb++ {
+			if idx.hash(tb, z) != idx.hash(tb, z) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSHNearbyPointsCollide(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	idx := NewLSHIndex(8, 8, 6, 3)
+	base := rng.NormVec(8)
+	near := make([]float64, 8)
+	copy(near, base)
+	near[0] += 0.01
+	collisions := 0
+	for tb := 0; tb < idx.Tables; tb++ {
+		if idx.hash(tb, base) == idx.hash(tb, near) {
+			collisions++
+		}
+	}
+	if collisions == 0 {
+		t.Fatal("nearly identical points should collide in at least one table")
+	}
+}
+
+func TestLSHCandidatesFindOwnCluster(t *testing.T) {
+	centres := [][]float64{{0, 0, 0, 0}, {12, 0, 0, 0}, {0, 12, 0, 0}}
+	s, idx := buildIndexedSet(t, 4, centres)
+	rng := tensor.NewRNG(5)
+	hits := 0
+	total := 0
+	for _, c := range centres {
+		for i := 0; i < 20; i++ {
+			z := gaussianBlob(rng, c, 0.3)
+			total++
+			for _, cand := range idx.Candidates(z) {
+				if tensor.L2(cand.Centroid(), c) < 2 {
+					hits++
+					break
+				}
+			}
+		}
+	}
+	_ = s
+	if float64(hits)/float64(total) < 0.8 {
+		t.Fatalf("LSH recall too low: %d/%d", hits, total)
+	}
+}
+
+func TestNearestWithIndexAgreesWithFullScan(t *testing.T) {
+	centres := [][]float64{{0, 0, 0, 0}, {12, 0, 0, 0}}
+	s, idx := buildIndexedSet(t, 6, centres)
+	rng := tensor.NewRNG(7)
+	agreements := 0
+	const n = 50
+	for i := 0; i < n; i++ {
+		z := gaussianBlob(rng, centres[i%2], 0.5)
+		fast := idx.NearestWithIndex(s, z)
+		cs, _ := s.NearestRaw(z, 1)
+		if fast == cs[0] {
+			agreements++
+		}
+	}
+	if agreements < n*8/10 {
+		t.Fatalf("index nearest agrees with scan only %d/%d times", agreements, n)
+	}
+}
+
+func TestNearestWithIndexEmptySet(t *testing.T) {
+	s := NewSet(quickConfig())
+	idx := NewLSHIndex(4, 4, 6, 9)
+	if idx.NearestWithIndex(s, []float64{1, 2, 3, 4}) != nil {
+		t.Fatal("empty set should return nil")
+	}
+}
+
+func TestLSHDefaults(t *testing.T) {
+	idx := NewLSHIndex(4, 0, 0, 1)
+	if idx.Tables != 4 || idx.Bits != 8 {
+		t.Fatalf("defaults wrong: %+v", idx)
+	}
+}

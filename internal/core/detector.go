@@ -1,0 +1,82 @@
+// Package core implements the ODIN system of §3: the drift DETECTOR
+// (DA-GAN latent projection + ∆-band clustering), the SPECIALIZER
+// (per-cluster model generation, lite-then-specialized life cycle), the
+// SELECTOR (KNN-U / KNN-W / ∆-BM ensemble policies) and the MODELMANAGER
+// binding them into the end-to-end pipeline.
+package core
+
+import (
+	"odin/internal/cluster"
+	"odin/internal/gan"
+	"odin/internal/synth"
+)
+
+// FrameEncoder converts a frame image to the flattened vector the projector
+// was trained on. The default downsamples by 2 to the manifold resolution.
+type FrameEncoder func(*synth.Image) []float64
+
+// DownsampleEncoder returns an encoder that downsamples frames by factor
+// before flattening.
+func DownsampleEncoder(factor int) FrameEncoder {
+	return func(im *synth.Image) []float64 {
+		if factor <= 1 {
+			return im.Flat()
+		}
+		return im.Downsample(factor).Flat()
+	}
+}
+
+// EncodedDim returns the encoder output dimensionality for a scene config.
+func EncodedDim(cfg synth.SceneConfig, factor int) int {
+	if factor <= 1 {
+		return 3 * cfg.H * cfg.W
+	}
+	return 3 * (cfg.H / factor) * (cfg.W / factor)
+}
+
+// Detector is ODIN's drift DETECTOR (§4): it projects frames into the
+// DA-GAN latent space and routes the projections through the online
+// ∆-band cluster set.
+type Detector struct {
+	Proj     gan.Projector
+	Clusters *cluster.Set
+	Encode   FrameEncoder
+}
+
+// NewDetector assembles a drift detector from a trained projector.
+func NewDetector(proj gan.Projector, cfg cluster.Config, enc FrameEncoder) *Detector {
+	if enc == nil {
+		enc = DownsampleEncoder(2)
+	}
+	return &Detector{Proj: proj, Clusters: cluster.NewSet(cfg), Encode: enc}
+}
+
+// Observation is the outcome of processing one frame through the detector.
+type Observation struct {
+	Latent     []float64
+	Assignment cluster.Assignment
+}
+
+// Observe projects a frame and updates the cluster set.
+func (d *Detector) Observe(img *synth.Image) Observation {
+	z := d.Proj.Project(d.Encode(img))
+	return Observation{Latent: z, Assignment: d.Clusters.Observe(z)}
+}
+
+// Project returns a frame's latent without updating cluster state (used by
+// selection-only paths).
+func (d *Detector) Project(img *synth.Image) []float64 {
+	return d.Proj.Project(d.Encode(img))
+}
+
+// TrainDAGAN is a convenience that trains a DA-GAN on held-out frames (the
+// paper's ~20K unlabeled bootstrap images, §6.2) and returns it.
+func TrainDAGAN(frames []*synth.Frame, enc FrameEncoder, cfg gan.Config, epochs, batch int) *gan.DAGAN {
+	rows := make([][]float64, len(frames))
+	for i, f := range frames {
+		rows[i] = enc(f.Image)
+	}
+	dg := gan.NewDAGAN(cfg)
+	dg.Fit(rows, epochs, batch)
+	return dg
+}

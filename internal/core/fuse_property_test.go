@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"odin/internal/detect"
+	"odin/internal/synth"
+	"odin/internal/tensor"
+)
+
+// randomDetections builds a plausible detection set.
+func randomDetections(rng *tensor.RNG, n int) []detect.Detection {
+	out := make([]detect.Detection, n)
+	for i := range out {
+		out[i] = detect.Detection{
+			Box: synth.Box{
+				Class: rng.Intn(synth.NumClasses),
+				X:     rng.Range(0, 40), Y: rng.Range(0, 20),
+				W: rng.Range(2, 10), H: rng.Range(2, 8),
+			},
+			Score: rng.Range(0.2, 1),
+		}
+	}
+	return out
+}
+
+// TestFuseDetectionsScoreBounds: fused scores stay in (0, 1].
+func TestFuseDetectionsScoreBounds(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		nSets := 1 + rng.Intn(4)
+		sets := make([][]detect.Detection, nSets)
+		weights := make([]float64, nSets)
+		var wSum float64
+		for i := range sets {
+			sets[i] = randomDetections(rng, rng.Intn(6))
+			weights[i] = rng.Range(0.1, 1)
+			wSum += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= wSum
+		}
+		for _, d := range FuseDetections(sets, weights) {
+			if d.Score <= 0 || d.Score > 1 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseDetectionsOutputBounded: fusion never produces more detections
+// than it receives.
+func TestFuseDetectionsOutputBounded(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		a := randomDetections(rng, rng.Intn(8))
+		b := randomDetections(rng, rng.Intn(8))
+		out := FuseDetections([][]detect.Detection{a, b}, []float64{0.5, 0.5})
+		return len(out) <= len(a)+len(b)
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseDetectionsClassPreserved: fusion never invents a class absent
+// from its inputs.
+func TestFuseDetectionsClassPreserved(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		a := randomDetections(rng, 1+rng.Intn(5))
+		in := map[int]bool{}
+		for _, d := range a {
+			in[d.Box.Class] = true
+		}
+		for _, d := range FuseDetections([][]detect.Detection{a}, []float64{1}) {
+			if !in[d.Box.Class] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFuseDetectionsEmptyInputs: degenerate inputs behave.
+func TestFuseDetectionsEmptyInputs(t *testing.T) {
+	if out := FuseDetections(nil, nil); len(out) != 0 {
+		t.Fatal("nil fusion should be empty")
+	}
+	if out := FuseDetections([][]detect.Detection{nil, nil}, []float64{0.5, 0.5}); len(out) != 0 {
+		t.Fatal("empty-set fusion should be empty")
+	}
+}
+
+// TestSelectorWeightsNormalised: every policy returns weights summing
+// to ~1 when any models are returned.
+func TestSelectorWeightsNormalised(t *testing.T) {
+	set := buildClusterAt(t, [][]float64{{0, 0}, {10, 0}})
+	byCluster := map[int]*Model{
+		set.Permanent[0].ID: {ClusterID: set.Permanent[0].ID},
+		set.Permanent[1].ID: {ClusterID: set.Permanent[1].ID},
+	}
+	rng := tensor.NewRNG(11)
+	for _, policy := range []Policy{PolicyKNNU, PolicyKNNW, PolicyDeltaBM} {
+		sel := Selector{Policy: policy, K: 2}
+		for i := 0; i < 50; i++ {
+			z := []float64{rng.Range(-2, 12), rng.Range(-2, 2)}
+			out := sel.Select(z, set, byCluster, nil)
+			if len(out) == 0 {
+				continue
+			}
+			var sum float64
+			for _, wm := range out {
+				if wm.Weight < 0 {
+					t.Fatalf("%v produced negative weight", policy)
+				}
+				sum += wm.Weight
+			}
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("%v weights sum to %v", policy, sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"time"
+
+	"odin/internal/cluster"
+	"odin/internal/detect"
+	"odin/internal/synth"
+)
+
+// Model is one deployed detection model managed by the MODELMANAGER.
+type Model struct {
+	Kind      detect.Kind
+	Det       *detect.GridDetector
+	ClusterID int // -1 for the non-specialized baseline
+	Cost      detect.Cost
+	CreatedAt int // frame index at creation
+	TrainedOn int // number of training frames
+}
+
+// Name renders the model for logs and results.
+func (m *Model) Name() string {
+	if m == nil {
+		return "none"
+	}
+	return m.Kind.String()
+}
+
+// SpecializerConfig tunes the §5 drift-recovery behaviour.
+type SpecializerConfig struct {
+	LiteEpochs int // epochs for the distilled YOLO-Lite student
+	SpecEpochs int // epochs for the oracle-labelled YOLO-Specialized model
+	Batch      int
+
+	// MaxTrainFrames caps the per-cluster training buffer.
+	MaxTrainFrames int
+	// LabelDelay is the number of stream frames after a drift event until
+	// oracle labels become available (§5.2: lite first, specialized after
+	// labels arrive). Zero trains the specialized model immediately.
+	LabelDelay int
+	// DistillMinScore filters teacher detections used as student labels.
+	DistillMinScore float64
+}
+
+// DefaultSpecializerConfig returns the configuration used in experiments.
+func DefaultSpecializerConfig() SpecializerConfig {
+	return SpecializerConfig{
+		LiteEpochs:      25,
+		SpecEpochs:      40,
+		Batch:           16,
+		MaxTrainFrames:  400,
+		LabelDelay:      600,
+		DistillMinScore: 0.4,
+	}
+}
+
+// TrainEvent records one model-training action for diagnostics and the
+// model-generation-time comparisons of §6.3.
+type TrainEvent struct {
+	Kind      detect.Kind
+	ClusterID int
+	AtFrame   int
+	NumFrames int
+	Duration  time.Duration
+}
+
+// pendingSpec tracks a cluster awaiting oracle labels.
+type pendingSpec struct {
+	clusterID int
+	readyAt   int
+}
+
+// ModelManager owns the baseline model and the per-cluster specialized
+// models, and implements the SPECIALIZER (Algorithm 2's model-generation
+// half): on drift it immediately distills a YOLO-Lite from the baseline's
+// outputs, then swaps in an oracle-trained YOLO-Specialized once labels
+// arrive.
+type ModelManager struct {
+	Cfg   SpecializerConfig
+	Scene synth.SceneConfig
+
+	Baseline *Model
+
+	byCluster  map[int]*Model
+	mostRecent *Model
+	buffers    map[int][]*synth.Frame
+	pending    []pendingSpec
+	trainLog   []TrainEvent
+	seq        uint64
+}
+
+// NewModelManager wraps a baseline detector.
+func NewModelManager(cfg SpecializerConfig, scene synth.SceneConfig, baseline *detect.GridDetector) *ModelManager {
+	var base *Model
+	if baseline != nil {
+		base = &Model{
+			Kind:      detect.KindYOLO,
+			Det:       baseline,
+			ClusterID: -1,
+			Cost:      detect.CostOf(detect.KindYOLO),
+		}
+	}
+	return &ModelManager{
+		Cfg:       cfg,
+		Scene:     scene,
+		Baseline:  base,
+		byCluster: make(map[int]*Model),
+		buffers:   make(map[int][]*synth.Frame),
+	}
+}
+
+// Models returns the live cluster→model map (not to be mutated).
+func (mm *ModelManager) Models() map[int]*Model { return mm.byCluster }
+
+// MostRecent returns the most recently created model (the −SELECTOR
+// ablation policy).
+func (mm *ModelManager) MostRecent() *Model { return mm.mostRecent }
+
+// TrainLog returns all training events so far.
+func (mm *ModelManager) TrainLog() []TrainEvent { return mm.trainLog }
+
+// NumModels returns the number of resident specialized/lite models.
+func (mm *ModelManager) NumModels() int { return len(mm.byCluster) }
+
+// MemoryMB returns the simulated resident memory: the per-cluster models
+// once they exist, otherwise the heavyweight baseline.
+func (mm *ModelManager) MemoryMB() float64 {
+	if len(mm.byCluster) == 0 {
+		if mm.Baseline == nil {
+			return 0
+		}
+		return mm.Baseline.Cost.SizeMB
+	}
+	var total float64
+	for _, m := range mm.byCluster {
+		total += m.Cost.SizeMB
+	}
+	return total
+}
+
+// AddFrame buffers a frame for its assigned cluster (Algorithm 2 line 5).
+func (mm *ModelManager) AddFrame(clusterID int, f *synth.Frame) {
+	buf := mm.buffers[clusterID]
+	if len(buf) >= mm.Cfg.MaxTrainFrames {
+		// Reservoir-free: keep the newest frames by sliding.
+		copy(buf, buf[1:])
+		buf[len(buf)-1] = f
+		mm.buffers[clusterID] = buf
+		return
+	}
+	mm.buffers[clusterID] = append(buf, f)
+}
+
+// OnDrift reacts to a cluster promotion: seeds the new cluster's buffer and
+// trains an immediate YOLO-Lite student from the baseline's outputs, then
+// schedules the oracle-labelled specialized model.
+func (mm *ModelManager) OnDrift(ev *cluster.DriftEvent, seeds []*synth.Frame, atFrame int) {
+	id := ev.Cluster.ID
+	buf := append([]*synth.Frame(nil), seeds...)
+	if len(buf) > mm.Cfg.MaxTrainFrames {
+		buf = buf[len(buf)-mm.Cfg.MaxTrainFrames:]
+	}
+	mm.buffers[id] = buf
+
+	if ev.Evicted != nil {
+		mm.DropCluster(ev.Evicted.ID)
+	}
+
+	// Immediate lite model from teacher outputs — no labels needed.
+	if mm.Baseline != nil && len(buf) > 0 && mm.Cfg.LiteEpochs > 0 {
+		start := time.Now()
+		cfg := detect.LiteConfig(mm.Scene.H, mm.Scene.W)
+		cfg.Seed = mm.nextSeed()
+		lite := detect.NewGridDetector(cfg)
+		samples := detect.DistillSamples(mm.Baseline.Det, buf, mm.Cfg.DistillMinScore)
+		lite.Fit(samples, mm.Cfg.LiteEpochs, mm.Cfg.Batch)
+		m := &Model{
+			Kind:      detect.KindLite,
+			Det:       lite,
+			ClusterID: id,
+			Cost:      detect.CostOf(detect.KindLite),
+			CreatedAt: atFrame,
+			TrainedOn: len(buf),
+		}
+		mm.byCluster[id] = m
+		mm.mostRecent = m
+		mm.trainLog = append(mm.trainLog, TrainEvent{
+			Kind: detect.KindLite, ClusterID: id, AtFrame: atFrame,
+			NumFrames: len(buf), Duration: time.Since(start),
+		})
+	}
+
+	mm.pending = append(mm.pending, pendingSpec{clusterID: id, readyAt: atFrame + mm.Cfg.LabelDelay})
+	mm.MaturePending(atFrame)
+}
+
+// MaturePending trains oracle-labelled specialized models for clusters
+// whose label delay has elapsed (§5.2: specialized replaces lite).
+func (mm *ModelManager) MaturePending(atFrame int) {
+	var remaining []pendingSpec
+	for _, p := range mm.pending {
+		if atFrame < p.readyAt {
+			remaining = append(remaining, p)
+			continue
+		}
+		buf := mm.buffers[p.clusterID]
+		if len(buf) == 0 {
+			continue // cluster evicted or empty; drop silently
+		}
+		start := time.Now()
+		cfg := detect.SpecializedConfig(mm.Scene.H, mm.Scene.W)
+		cfg.Seed = mm.nextSeed()
+		spec := detect.NewGridDetector(cfg)
+		spec.Fit(detect.SamplesFromFrames(buf), mm.Cfg.SpecEpochs, mm.Cfg.Batch)
+		m := &Model{
+			Kind:      detect.KindSpecialized,
+			Det:       spec,
+			ClusterID: p.clusterID,
+			Cost:      detect.CostOf(detect.KindSpecialized),
+			CreatedAt: atFrame,
+			TrainedOn: len(buf),
+		}
+		mm.byCluster[p.clusterID] = m
+		mm.mostRecent = m
+		mm.trainLog = append(mm.trainLog, TrainEvent{
+			Kind: detect.KindSpecialized, ClusterID: p.clusterID, AtFrame: atFrame,
+			NumFrames: len(buf), Duration: time.Since(start),
+		})
+	}
+	mm.pending = remaining
+}
+
+// DropCluster removes the model and buffer of an evicted cluster (§6.5
+// model-count threshold).
+func (mm *ModelManager) DropCluster(clusterID int) {
+	delete(mm.byCluster, clusterID)
+	delete(mm.buffers, clusterID)
+	var remaining []pendingSpec
+	for _, p := range mm.pending {
+		if p.clusterID != clusterID {
+			remaining = append(remaining, p)
+		}
+	}
+	mm.pending = remaining
+}
+
+func (mm *ModelManager) nextSeed() uint64 {
+	mm.seq++
+	return 1000 + mm.seq
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"odin/internal/cluster"
+	"odin/internal/detect"
+	"odin/internal/gan"
+	"odin/internal/synth"
+)
+
+// Config assembles a full ODIN pipeline.
+type Config struct {
+	Scene            synth.SceneConfig
+	DownsampleFactor int // frame → projector input reduction (default 2)
+	Cluster          cluster.Config
+	Selector         Selector
+	Spec             SpecializerConfig
+
+	// DriftRecovery disables the DETECTOR/SPECIALIZER/SELECTOR stack when
+	// false, leaving the static heavyweight baseline — the paper's
+	// "static system" comparison point.
+	DriftRecovery bool
+}
+
+// DefaultConfig returns the experiment configuration.
+func DefaultConfig(scene synth.SceneConfig) Config {
+	return Config{
+		Scene:            scene,
+		DownsampleFactor: 2,
+		Cluster:          cluster.DefaultConfig(),
+		Selector:         Selector{Policy: PolicyDeltaBM, K: 4},
+		Spec:             DefaultSpecializerConfig(),
+		DriftRecovery:    true,
+	}
+}
+
+// Result is the outcome of processing one frame.
+type Result struct {
+	Detections []detect.Detection
+	// ClusterID is the primary cluster assignment (-1 when the frame was
+	// an outlier routed to the temporary cluster).
+	ClusterID int
+	// Drift is non-nil when this frame triggered a drift event.
+	Drift *cluster.DriftEvent
+	// ModelsUsed names the models that served this frame.
+	ModelsUsed []string
+	// SimLatency is the simulated per-frame GPU time (seconds) of the
+	// models that ran, from the architecture cost model.
+	SimLatency float64
+}
+
+// Stats aggregates pipeline telemetry.
+type Stats struct {
+	Frames      int
+	Outliers    int
+	DriftEvents int
+	SimTime     float64 // total simulated GPU seconds
+}
+
+// FPS returns the simulated end-to-end throughput so far.
+func (s Stats) FPS() float64 {
+	if s.SimTime <= 0 {
+		return 0
+	}
+	return float64(s.Frames) / s.SimTime
+}
+
+// Odin is the end-to-end system of Figure 3: DETECTOR → (SPECIALIZER on
+// drift) → SELECTOR → detection.
+// bufferedOutlier pairs an outlier frame with its latent projection so
+// drift-time seed filtering can test cluster membership.
+type bufferedOutlier struct {
+	frame  *synth.Frame
+	latent []float64
+}
+
+type Odin struct {
+	Cfg      Config
+	Detector *Detector
+	Manager  *ModelManager
+
+	outlierRing []bufferedOutlier
+	stats       Stats
+}
+
+// New assembles ODIN from a trained projector and a baseline heavyweight
+// detector. The projector is the DA-GAN encoder trained on bootstrap data
+// (§4.4); the baseline plays the role of the pre-trained YOLO teacher.
+func New(cfg Config, proj gan.Projector, baseline *detect.GridDetector) *Odin {
+	enc := DownsampleEncoder(cfg.DownsampleFactor)
+	return &Odin{
+		Cfg:      cfg,
+		Detector: NewDetector(proj, cfg.Cluster, enc),
+		Manager:  NewModelManager(cfg.Spec, cfg.Scene, baseline),
+	}
+}
+
+// Stats returns aggregate telemetry.
+func (o *Odin) Stats() Stats { return o.stats }
+
+// MemoryMB returns the simulated resident model memory.
+func (o *Odin) MemoryMB() float64 { return o.Manager.MemoryMB() }
+
+// Process runs one frame through the pipeline.
+func (o *Odin) Process(f *synth.Frame) Result {
+	o.stats.Frames++
+
+	if !o.Cfg.DriftRecovery {
+		return o.processStatic(f)
+	}
+
+	obs := o.Detector.Observe(f.Image)
+	res := Result{ClusterID: -1}
+
+	a := obs.Assignment
+	if a.Outlier {
+		o.stats.Outliers++
+		o.bufferOutlier(f, obs.Latent)
+	} else if a.Primary != nil {
+		res.ClusterID = a.Primary.ID
+		o.Manager.AddFrame(a.Primary.ID, f)
+	}
+	if a.Drift != nil {
+		o.stats.DriftEvents++
+		res.Drift = a.Drift
+		seeds := o.takeOutliers(a.Drift.Cluster)
+		o.Manager.OnDrift(a.Drift, seeds, o.stats.Frames)
+	}
+	o.Manager.MaturePending(o.stats.Frames)
+
+	// SELECTOR: pick the ensemble, fall back to the baseline when no
+	// specialized model exists yet.
+	selection := o.Manager.selectFor(obs.Latent, o.Detector.Clusters, o.Cfg.Selector)
+	if len(selection) == 0 {
+		return o.runModels(f, []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}}, res)
+	}
+	return o.runModels(f, selection, res)
+}
+
+// selectFor adapts the Selector to the manager's internal maps.
+func (mm *ModelManager) selectFor(z []float64, clusters *cluster.Set, sel Selector) []WeightedModel {
+	return sel.Select(z, clusters, mm.byCluster, mm.mostRecent)
+}
+
+// processStatic is the no-drift-recovery path: the heavyweight baseline
+// serves every frame.
+func (o *Odin) processStatic(f *synth.Frame) Result {
+	return o.runModels(f, []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}}, Result{ClusterID: -1})
+}
+
+// runModels executes the weighted ensemble, fuses detections and accounts
+// simulated latency.
+func (o *Odin) runModels(f *synth.Frame, models []WeightedModel, res Result) Result {
+	sets := make([][]detect.Detection, 0, len(models))
+	weights := make([]float64, 0, len(models))
+	for _, wm := range models {
+		if wm.Model == nil || wm.Model.Det == nil {
+			continue
+		}
+		sets = append(sets, wm.Model.Det.Detect(f.Image))
+		weights = append(weights, wm.Weight)
+		res.ModelsUsed = append(res.ModelsUsed, wm.Model.Name())
+		if wm.Model.Cost.FPS > 0 {
+			res.SimLatency += 1 / wm.Model.Cost.FPS
+		}
+	}
+	if len(sets) == 1 {
+		res.Detections = sets[0]
+	} else if len(sets) > 1 {
+		res.Detections = FuseDetections(sets, weights)
+	}
+	o.stats.SimTime += res.SimLatency
+	return res
+}
+
+// bufferOutlier keeps the recent outlier frames aligned with the
+// temporary cluster's sliding window; they become the training seeds of
+// the next promoted cluster.
+func (o *Odin) bufferOutlier(f *synth.Frame, z []float64) {
+	limit := o.Cfg.Cluster.TempWindow
+	if limit <= 0 {
+		limit = 200
+	}
+	o.outlierRing = append(o.outlierRing, bufferedOutlier{frame: f, latent: z})
+	if len(o.outlierRing) > limit {
+		o.outlierRing = o.outlierRing[1:]
+	}
+}
+
+// takeOutliers drains the outlier ring, keeping only the frames that
+// actually belong to the newly promoted cluster. The ring also holds
+// unrelated stragglers (other domains' out-of-band tails); training a
+// specialized model on those would contaminate it, so seeds are filtered
+// by cluster membership.
+func (o *Odin) takeOutliers(c *cluster.Cluster) []*synth.Frame {
+	var seeds []*synth.Frame
+	for _, b := range o.outlierRing {
+		if c.Contains(b.latent) || c.Distance(b.latent) <= c.Band().Hi {
+			seeds = append(seeds, b.frame)
+		}
+	}
+	o.outlierRing = nil
+	return seeds
+}

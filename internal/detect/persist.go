@@ -1,0 +1,55 @@
+package detect
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"odin/internal/nn"
+)
+
+// persistHeader describes a saved detector so Load can rebuild the same
+// architecture before restoring weights.
+type persistHeader struct {
+	Kind      int
+	H, W      int
+	Classes   int
+	Channels  []int
+	Strides   []int
+	BatchNorm bool
+	LR        float64
+	Seed      uint64
+}
+
+// Save serialises the detector (architecture + weights) to w. A saved
+// specialized model can be redeployed without retraining — the
+// MODELMANAGER's persistence path.
+func (g *GridDetector) Save(w io.Writer) error {
+	h := persistHeader{
+		Kind: int(g.Cfg.Kind), H: g.Cfg.H, W: g.Cfg.W, Classes: g.Cfg.Classes,
+		Channels: g.Cfg.Channels, Strides: g.Cfg.Strides,
+		BatchNorm: g.Cfg.BatchNorm, LR: g.Cfg.LR, Seed: g.Cfg.Seed,
+	}
+	if err := gob.NewEncoder(w).Encode(h); err != nil {
+		return fmt.Errorf("detect: encode header: %w", err)
+	}
+	return nn.SaveWeights(g.Net, w)
+}
+
+// Load restores a detector previously written with Save.
+func Load(r io.Reader) (*GridDetector, error) {
+	var h persistHeader
+	if err := gob.NewDecoder(r).Decode(&h); err != nil {
+		return nil, fmt.Errorf("detect: decode header: %w", err)
+	}
+	cfg := GridConfig{
+		Kind: Kind(h.Kind), H: h.H, W: h.W, Classes: h.Classes,
+		Channels: h.Channels, Strides: h.Strides,
+		BatchNorm: h.BatchNorm, LR: h.LR, Seed: h.Seed,
+	}
+	d := NewGridDetector(cfg)
+	if err := nn.LoadWeights(d.Net, r); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

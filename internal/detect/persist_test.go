@@ -1,0 +1,61 @@
+package detect
+
+import (
+	"bytes"
+	"testing"
+
+	"odin/internal/synth"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	gen := synth.NewSceneGen(31, synth.DefaultSceneConfig())
+	train := gen.Dataset(synth.DayData, 80)
+	d := NewGridDetector(SpecializedConfig(27, 48))
+	d.Fit(SamplesFromFrames(train), 4, 16)
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Cfg.Kind != KindSpecialized || loaded.GH != d.GH || loaded.GW != d.GW {
+		t.Fatalf("loaded config mismatch: %+v", loaded.Cfg)
+	}
+	// Identical predictions on fresh frames.
+	for _, f := range gen.Dataset(synth.DayData, 5) {
+		a := d.Detect(f.Image)
+		b := loaded.Detect(f.Image)
+		if len(a) != len(b) {
+			t.Fatalf("detection count differs: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Score != b[i].Score || a[i].Box != b[i].Box {
+				t.Fatal("loaded model predictions differ")
+			}
+		}
+	}
+}
+
+func TestLoadGarbageFails(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not a model"))); err == nil {
+		t.Fatal("garbage input should fail to load")
+	}
+}
+
+func TestSaveLoadWithBatchNorm(t *testing.T) {
+	d := NewGridDetector(YOLOConfig(27, 48))
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Cfg.BatchNorm {
+		t.Fatal("batch-norm flag lost")
+	}
+}

@@ -1,0 +1,93 @@
+package detect
+
+import (
+	"odin/internal/nn"
+	"odin/internal/synth"
+	"odin/internal/tensor"
+)
+
+// Sample pairs a frame image with its training boxes (ground truth for
+// specialized training, teacher outputs for distillation).
+type Sample struct {
+	Image *synth.Image
+	Boxes []synth.Box
+}
+
+// SamplesFromFrames converts frames with ground truth into training
+// samples — the oracle-label path of §5.2.
+func SamplesFromFrames(frames []*synth.Frame) []Sample {
+	out := make([]Sample, len(frames))
+	for i, f := range frames {
+		out[i] = Sample{Image: f.Image, Boxes: f.Boxes}
+	}
+	return out
+}
+
+// DistillSamples labels frames with a teacher's detections instead of
+// ground truth — the student-teacher path used to train YOLO-Lite without
+// oracle labels (§5.2). Only confident teacher detections become labels.
+func DistillSamples(teacher Detector, frames []*synth.Frame, minScore float64) []Sample {
+	out := make([]Sample, len(frames))
+	for i, f := range frames {
+		dets := teacher.Detect(f.Image)
+		var boxes []synth.Box
+		for _, d := range dets {
+			if d.Score >= minScore {
+				boxes = append(boxes, d.Box)
+			}
+		}
+		out[i] = Sample{Image: f.Image, Boxes: boxes}
+	}
+	return out
+}
+
+// TrainEpoch runs one epoch of minibatch training and returns the mean
+// loss per sample.
+func (g *GridDetector) TrainEpoch(samples []Sample, batch int) float64 {
+	if batch <= 0 {
+		batch = 16
+	}
+	perm := g.rng.Perm(len(samples))
+	var total float64
+	count := 0
+	for start := 0; start < len(perm); start += batch {
+		end := start + batch
+		if end > len(perm) {
+			end = len(perm)
+		}
+		idx := perm[start:end]
+		x := tensor.New(len(idx), samples[0].Image.Dim())
+		for i, id := range idx {
+			copy(x.Row(i), samples[id].Image.Flat())
+		}
+		out := g.Net.Forward(x, true)
+		grad := tensor.New(out.R, out.C)
+		for i, id := range idx {
+			target, objMask := g.buildTargets(samples[id].Boxes)
+			loss, gr := g.lossGrad(out.Row(i), target, objMask)
+			total += loss
+			copy(grad.Row(i), gr)
+			count++
+		}
+		// Mean gradient over the batch.
+		grad.Scale(1 / float64(len(idx)))
+		g.Net.ZeroGrad()
+		g.Net.Backward(grad)
+		nn.ClipGrads(g.Net.Params(), 10)
+		g.opt.Step(g.Net.Params())
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// Fit trains for the given number of epochs and returns the final epoch's
+// mean loss.
+func (g *GridDetector) Fit(samples []Sample, epochs, batch int) float64 {
+	var last float64
+	for e := 0; e < epochs; e++ {
+		last = g.TrainEpoch(samples, batch)
+	}
+	return last
+}

@@ -1,0 +1,263 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"odin/internal/band"
+	"odin/internal/detect"
+	"odin/internal/gan"
+	"odin/internal/query"
+	"odin/internal/synth"
+)
+
+// Fig1Result reproduces the motivating example (Figure 1): a static system
+// trained on RAIN-DATA versus ODIN's specialized models when the stream
+// drifts to DAY-DATA.
+type Fig1Result struct {
+	StaticMAP, OdinMAP     float64
+	StaticQAcc, OdinQAcc   float64
+	StaticFPS, OdinFPS     float64
+	StaticMemMB, OdinMemMB float64
+}
+
+// RunFig1 executes the motivating example.
+func RunFig1(c *Context, w io.Writer) Fig1Result {
+	// The static system: a heavyweight YOLO trained only on RAIN-DATA.
+	gen := synth.NewSceneGen(31, c.Scene)
+	static := detect.NewGridDetector(detect.YOLOConfig(c.Scene.H, c.Scene.W))
+	static.Fit(detect.SamplesFromFrames(gen.Dataset(synth.RainData, c.P.TrainFrames)), c.P.TrainEpochs, 16)
+
+	// ODIN: after detecting the drift it deploys the DAY specialist.
+	specDay := c.Specialized(synth.DayData)
+
+	test := c.TestSet(synth.DayData)
+	staticMAP := detect.EvaluateDetector(static, test, 0.5).MAP
+	odinMAP := detect.EvaluateDetector(specDay, test, 0.5).MAP
+
+	// Query accuracy: car counting on the drifted data.
+	truth := query.TrueCounts(test, synth.ClassCar)
+	count := func(d detect.Detector) float64 {
+		pred := make([]int, len(test))
+		for i, f := range test {
+			pred[i] = detect.CountClass(d.Detect(f.Image), synth.ClassCar, 0.3)
+		}
+		return query.QueryAccuracy(pred, truth)
+	}
+	res := Fig1Result{
+		StaticMAP:   staticMAP,
+		OdinMAP:     odinMAP,
+		StaticQAcc:  count(static),
+		OdinQAcc:    count(specDay),
+		StaticFPS:   detect.CostOf(detect.KindYOLO).FPS,
+		OdinFPS:     detect.CostOf(detect.KindSpecialized).FPS,
+		StaticMemMB: detect.CostOf(detect.KindYOLO).SizeMB,
+		// ODIN holds the two specialists (RAIN + DAY).
+		OdinMemMB: 2 * detect.CostOf(detect.KindSpecialized).SizeMB,
+	}
+
+	t := NewTable("Figure 1: Motivating example (train RAIN-DATA → stream DAY-DATA)",
+		"System", "Detection mAP", "Query acc", "Throughput (FPS)", "Memory (MB)")
+	t.Add("Static", res.StaticMAP, res.StaticQAcc, fmt.Sprintf("%.0f", res.StaticFPS), fmt.Sprintf("%.0f", res.StaticMemMB))
+	t.Add("ODIN", res.OdinMAP, res.OdinQAcc, fmt.Sprintf("%.0f", res.OdinFPS), fmt.Sprintf("%.0f", res.OdinMemMB))
+	t.Render(w)
+	return res
+}
+
+// Fig2Result quantifies the latent-space comparison of Figure 2: cycle
+// error measures holes (high = holes), reconstruction error measures
+// information loss (high = blur).
+type Fig2Result struct {
+	AECycle, AAECycle, DGCycle float64
+	AERecon, AAERecon, DGRecon float64
+}
+
+// RunFig2 trains AE / AAE / DA-GAN on digits and measures latent quality.
+func RunFig2(c *Context, w io.Writer) Fig2Result {
+	classes := []int{0, 1, 2, 3, 4}
+	rows := digitRows(41, classes, c.P.T1TrainPerClass)
+	cfg := gan.Config{InputDim: len(rows[0]), Latent: 16, Hidden: []int{128, 48}, LR: 0.002, Seed: 5}
+
+	ae := gan.NewAutoencoder(cfg)
+	ae.Fit(rows, c.P.T1GenEpochs*2, 32)
+	aae := gan.NewAAE(cfg)
+	aae.Fit(rows, c.P.T1GenEpochs*2, 32)
+	dg := gan.NewDAGAN(cfg)
+	dg.Fit(rows, c.P.T1GenEpochs*2, 32)
+
+	res := Fig2Result{
+		AECycle:  gan.CycleError(ae, ae, 100, 9),
+		AAECycle: gan.CycleError(aae, aae, 100, 9),
+		DGCycle:  gan.CycleError(dg, dg, 100, 9),
+		AERecon:  gan.MeanReconError(ae, rows),
+		AAERecon: gan.MeanReconError(aae, rows),
+		DGRecon:  gan.MeanReconError(dg, rows),
+	}
+	t := NewTable("Figure 2: Latent-space quality (cycle error ≈ holes, recon error ≈ blur)",
+		"Model", "Cycle error", "Recon error")
+	t.Add("Standard AE", res.AECycle, res.AERecon)
+	t.Add("Adversarial AE", res.AAECycle, res.AAERecon)
+	t.Add("DA-GAN", res.DGCycle, res.DGRecon)
+	t.Render(w)
+	return res
+}
+
+// Fig4Result is the ∆-band visualisation: the distance histogram of one
+// embedded cluster and its band bounds.
+type Fig4Result struct {
+	Band      band.Band
+	Histogram []float64
+	InBand    float64 // fraction of mass inside the band
+}
+
+// RunFig4 embeds one digit class with the DA-GAN and derives its ∆-band.
+func RunFig4(c *Context, w io.Writer) Fig4Result {
+	rows := digitRows(43, []int{0, 1, 2}, c.P.T1TrainPerClass)
+	cfg := gan.Config{InputDim: len(rows[0]), Latent: 16, Hidden: []int{128, 48}, LR: 0.002, Seed: 6}
+	dg := gan.NewDAGAN(cfg)
+	dg.Fit(rows, c.P.T1GenEpochs, 32)
+
+	cluster := digitRows(44, []int{0}, c.P.T1TestInliers)
+	var latents [][]float64
+	for _, x := range cluster {
+		latents = append(latents, dg.Project(x))
+	}
+	centroid := centroidOf(latents)
+	var raw []float64
+	var mean float64
+	for _, z := range latents {
+		d := l2(z, centroid)
+		raw = append(raw, d)
+		mean += d
+	}
+	mean /= float64(len(raw))
+
+	hist := band.NewHistogram(24)
+	for _, r := range raw {
+		hist.Add(r / (r + mean))
+	}
+	b := band.Compute(hist, 0.75)
+	in := 0
+	for _, r := range raw {
+		if b.Contains(r / (r + mean)) {
+			in++
+		}
+	}
+	res := Fig4Result{Band: b, Histogram: hist.Counts, InBand: float64(in) / float64(len(raw))}
+
+	fmt.Fprintf(w, "\n== Figure 4: ∆-band over one cluster's distance histogram ==\n")
+	fmt.Fprintf(w, "band = %v, mass inside = %s\n", b, Pct(res.InBand))
+	maxC := 1.0
+	for _, v := range hist.Counts {
+		if v > maxC {
+			maxC = v
+		}
+	}
+	for i, v := range hist.Counts {
+		lo := float64(i) / float64(len(hist.Counts))
+		marker := " "
+		if b.Contains(lo + 0.5/float64(len(hist.Counts))) {
+			marker = "∆"
+		}
+		fmt.Fprintf(w, "%.2f %s %s\n", lo, marker, barOf(v, maxC, 40))
+	}
+	return res
+}
+
+func barOf(v, max float64, width int) string {
+	n := int(v / max * float64(width))
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}
+
+// Fig5Result reproduces the projection-failure experiment: an AE trained
+// on digits 0–2 reconstructs unseen digits far worse.
+type Fig5Result struct {
+	PerDigit   [10]float64
+	InlierErr  float64
+	OutlierErr float64
+}
+
+// RunFig5 trains the paper's 4-dense-layer, latent-64 AE on digits 0–2 and
+// reports per-digit reconstruction error.
+func RunFig5(c *Context, w io.Writer) Fig5Result {
+	train := digitRows(45, []int{0, 1, 2}, c.P.T1TrainPerClass*2)
+	// Paper Figure 5 architecture: Dense-512 → Dense-128 → Latent-64.
+	cfg := gan.Config{InputDim: len(train[0]), Latent: 64, Hidden: []int{512, 128}, LR: 0.001, Seed: 8}
+	ae := gan.NewAutoencoder(cfg)
+	ae.Fit(train, c.P.T1GenEpochs*2, 32)
+
+	var res Fig5Result
+	t := NewTable("Figure 5: Projection failure (AE trained on digits 0-2)",
+		"Digit", "Recon error", "Seen in training")
+	var inSum, outSum float64
+	for d := 0; d < 10; d++ {
+		rows := digitRows(46+uint64(d), []int{d}, 30)
+		var e float64
+		for _, x := range rows {
+			e += ae.ReconError(x)
+		}
+		e /= float64(len(rows))
+		res.PerDigit[d] = e
+		seen := "no"
+		if d <= 2 {
+			seen = "yes"
+			inSum += e
+		} else {
+			outSum += e
+		}
+		t.Add(d, e, seen)
+	}
+	res.InlierErr = inSum / 3
+	res.OutlierErr = outSum / 7
+	t.Add("avg 0-2", res.InlierErr, "yes")
+	t.Add("avg 3-9", res.OutlierErr, "no")
+	t.Render(w)
+	return res
+}
+
+// --- small shared helpers ---
+
+func digitRows(seed uint64, classes []int, n int) [][]float64 {
+	ds := synth.DigitDataset(seed, classes, n)
+	rows := make([][]float64, len(ds))
+	for i, li := range ds {
+		rows[i] = li.Image.Flat()
+	}
+	return rows
+}
+
+func textureRows(seed uint64, classes []int, n int) [][]float64 {
+	ds := synth.TextureDataset(seed, classes, n)
+	rows := make([][]float64, len(ds))
+	for i, li := range ds {
+		rows[i] = li.Image.Flat()
+	}
+	return rows
+}
+
+func centroidOf(vs [][]float64) []float64 {
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(vs))
+	}
+	return out
+}
+
+func l2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

@@ -1,0 +1,220 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"odin/internal/cluster"
+	"odin/internal/core"
+	"odin/internal/detect"
+	"odin/internal/synth"
+)
+
+// specSubsets are the four cluster-aligned specialization domains
+// (C-α…C-δ ≈ day / night / rain / snow per Table 2).
+var specSubsets = []synth.Subset{synth.DayData, synth.NightData, synth.RainData, synth.SnowData}
+
+// evalSubsets are the five test subsets of §6.2's "BDD Clusters".
+var evalSubsets = []synth.Subset{synth.FullData, synth.DayData, synth.NightData, synth.RainData, synth.SnowData}
+
+// Fig8Result holds per-subset mAP for the three model families.
+type Fig8Result struct {
+	Subsets     []synth.Subset
+	YOLO        []float64
+	Lite        []float64
+	Specialized []float64
+}
+
+// RunFig8 reproduces Figure 8: detection accuracy of the static YOLO vs
+// YOLO-Lite vs YOLO-Specialized on each subset (each specialist evaluated
+// on its own subset).
+func RunFig8(c *Context, w io.Writer) Fig8Result {
+	res := Fig8Result{Subsets: evalSubsets}
+	for _, s := range evalSubsets {
+		res.YOLO = append(res.YOLO, c.MAPOn(c.Baseline(), s))
+		res.Lite = append(res.Lite, c.MAPOn(c.Lite(s), s))
+		res.Specialized = append(res.Specialized, c.MAPOn(c.Specialized(s), s))
+	}
+	t := NewTable("Figure 8: Model specialization accuracy (mAP@0.5)",
+		"Subset", "YOLO", "YOLO-LITE", "YOLO-SPECIALIZED")
+	for i, s := range evalSubsets {
+		t.Add(s.String(), res.YOLO[i], res.Lite[i], res.Specialized[i])
+	}
+	t.Render(w)
+	return res
+}
+
+// Table3Result is the cross-subset mAP matrix.
+type Table3Result struct {
+	TestSubsets []synth.Subset
+	Baseline    []float64
+	// Cross[spec][test]: specialist trained on specSubsets[spec],
+	// evaluated on TestSubsets[test].
+	Cross [][]float64
+}
+
+// RunTable3 reproduces Table 3: every cluster specialist evaluated on
+// every subset, against the baseline column.
+func RunTable3(c *Context, w io.Writer) Table3Result {
+	res := Table3Result{TestSubsets: evalSubsets}
+	for _, s := range evalSubsets {
+		res.Baseline = append(res.Baseline, c.MAPOn(c.Baseline(), s))
+	}
+	res.Cross = make([][]float64, len(specSubsets))
+	for i, spec := range specSubsets {
+		model := c.Specialized(spec)
+		res.Cross[i] = make([]float64, len(evalSubsets))
+		for j, test := range evalSubsets {
+			res.Cross[i][j] = c.MAPOn(model, test)
+		}
+	}
+	t := NewTable("Table 3: Cross-subset detection accuracy (mAP@0.5)",
+		"Data", "Baseline", "C-α (day)", "C-β (night)", "C-γ (rain)", "C-δ (snow)")
+	for j, test := range evalSubsets {
+		t.Add(test.String(), res.Baseline[j],
+			res.Cross[0][j], res.Cross[1][j], res.Cross[2][j], res.Cross[3][j])
+	}
+	t.Render(w)
+	return res
+}
+
+// Table4Result carries the architecture cost-model outputs plus the
+// measured pure-Go throughput of the miniature counterparts.
+type Table4Result struct {
+	Costs      map[detect.Kind]detect.Cost
+	MeasuredGo map[detect.Kind]float64 // frames/sec of the miniature nets
+}
+
+// RunTable4 reproduces Table 4: throughput and memory footprint of the
+// three model families on the paper-calibrated simulated device, plus the
+// measured Go throughput of the miniature networks actually trained here.
+func RunTable4(c *Context, w io.Writer) Table4Result {
+	res := Table4Result{
+		Costs:      make(map[detect.Kind]detect.Cost),
+		MeasuredGo: make(map[detect.Kind]float64),
+	}
+	gen := synth.NewSceneGen(81, c.Scene)
+	frames := gen.Dataset(synth.FullData, 40)
+	measure := func(d *detect.GridDetector) float64 {
+		start := time.Now()
+		for _, f := range frames {
+			d.Detect(f.Image)
+		}
+		return float64(len(frames)) / time.Since(start).Seconds()
+	}
+	models := map[detect.Kind]*detect.GridDetector{
+		detect.KindYOLO:        c.Baseline(),
+		detect.KindSpecialized: c.Specialized(synth.DayData),
+		detect.KindLite:        c.Lite(synth.DayData),
+	}
+	t := NewTable("Table 4: Performance and memory footprint",
+		"Model", "Architecture", "Sim FPS", "Size (MB)", "Params (M)", "Go FPS (mini)")
+	for _, k := range []detect.Kind{detect.KindYOLO, detect.KindSpecialized, detect.KindLite} {
+		cost := detect.CostOf(k)
+		res.Costs[k] = cost
+		res.MeasuredGo[k] = measure(models[k])
+		t.Add(k.String(), detect.ArchForKind(k).Name,
+			fmt.Sprintf("%.0f", cost.FPS), fmt.Sprintf("%.0f", cost.SizeMB),
+			fmt.Sprintf("%.1f", float64(cost.Params)/1e6),
+			fmt.Sprintf("%.0f", res.MeasuredGo[k]))
+	}
+	t.Render(w)
+	return res
+}
+
+// Table5Result holds the selection-policy comparison.
+type Table5Result struct {
+	Subsets  []synth.Subset
+	Baseline []float64
+	KNNU     []float64
+	KNNW     []float64
+	DeltaBM  []float64
+}
+
+// clusterSetFromSubsets builds a cluster set whose clusters correspond to
+// the four specialization domains, by streaming each domain's latents, and
+// returns it with the subset→cluster-id mapping.
+func clusterSetFromSubsets(c *Context) (*cluster.Set, map[synth.Subset]int) {
+	dg := c.DAGAN()
+	enc := c.Encoder()
+	ccfg := cluster.DefaultConfig()
+	set := cluster.NewSet(ccfg)
+	gen := synth.NewSceneGen(82, c.Scene)
+	ids := make(map[synth.Subset]int)
+	for _, s := range specSubsets {
+		before := len(set.Permanent)
+		for i := 0; i < c.P.Table2PerSubset; i++ {
+			set.Observe(dg.Project(enc(gen.GenerateSubset(s).Image)))
+		}
+		// Associate the subset with the cluster(s) formed during its
+		// streaming phase; the first new cluster is its primary.
+		if len(set.Permanent) > before {
+			ids[s] = set.Permanent[before].ID
+		}
+	}
+	return set, ids
+}
+
+// RunTable5 reproduces Table 5: detection accuracy of the KNN-U, KNN-W and
+// ∆-BM selection policies over the four specialists, against the static
+// baseline.
+func RunTable5(c *Context, w io.Writer) Table5Result {
+	set, ids := clusterSetFromSubsets(c)
+
+	// Bind each domain cluster to its specialist.
+	byCluster := make(map[int]*core.Model)
+	var mostRecent *core.Model
+	for _, s := range specSubsets {
+		id, ok := ids[s]
+		if !ok {
+			continue
+		}
+		m := &core.Model{
+			Kind:      detect.KindSpecialized,
+			Det:       c.Specialized(s),
+			ClusterID: id,
+			Cost:      detect.CostOf(detect.KindSpecialized),
+		}
+		byCluster[id] = m
+		mostRecent = m
+	}
+
+	dg := c.DAGAN()
+	enc := c.Encoder()
+	evalPolicy := func(policy core.Policy, s synth.Subset) float64 {
+		sel := core.Selector{Policy: policy, K: 4}
+		frames := c.TestSet(s)
+		dets := make([][]detect.Detection, len(frames))
+		truth := make([][]synth.Box, len(frames))
+		for i, f := range frames {
+			z := dg.Project(enc(f.Image))
+			choice := sel.Select(z, set, byCluster, mostRecent)
+			var sets [][]detect.Detection
+			var weights []float64
+			for _, wm := range choice {
+				sets = append(sets, wm.Model.Det.Detect(f.Image))
+				weights = append(weights, wm.Weight)
+			}
+			dets[i] = core.FuseDetections(sets, weights)
+			truth[i] = f.Boxes
+		}
+		return detect.MeanAveragePrecision(dets, truth, 0.5).MAP
+	}
+
+	res := Table5Result{Subsets: evalSubsets}
+	for _, s := range evalSubsets {
+		res.Baseline = append(res.Baseline, c.MAPOn(c.Baseline(), s))
+		res.KNNU = append(res.KNNU, evalPolicy(core.PolicyKNNU, s))
+		res.KNNW = append(res.KNNW, evalPolicy(core.PolicyKNNW, s))
+		res.DeltaBM = append(res.DeltaBM, evalPolicy(core.PolicyDeltaBM, s))
+	}
+	t := NewTable("Table 5: Model-selection policies (mAP@0.5)",
+		"Data", "Baseline", "KNN-U", "KNN-W", "∆-BM")
+	for i, s := range evalSubsets {
+		t.Add(s.String(), res.Baseline[i], res.KNNU[i], res.KNNW[i], res.DeltaBM[i])
+	}
+	t.Render(w)
+	fmt.Fprintf(w, "clusters bound to specialists: %d of %d\n", len(byCluster), len(specSubsets))
+	return res
+}

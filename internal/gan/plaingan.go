@@ -1,0 +1,87 @@
+package gan
+
+import (
+	"odin/internal/nn"
+	"odin/internal/tensor"
+)
+
+// GAN is the plain generative adversarial network of §2.3: generator G(z)
+// and image discriminator DI(x). It synthesises images but does not learn
+// an encoder, which is why (as the paper notes) it cannot serve as a drift
+// projection on its own — it exists as a building block and comparison
+// point for DA-GAN.
+type GAN struct {
+	Cfg Config
+	Gen *nn.Network // decoder-shaped generator
+	DI  *nn.Network
+
+	optG nn.Optimizer
+	optD nn.Optimizer
+	rng  *tensor.RNG
+}
+
+// NewGAN builds a plain GAN from the config.
+func NewGAN(cfg Config) *GAN {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	return &GAN{
+		Cfg:  cfg,
+		Gen:  buildDecoder(cfg, rng),
+		DI:   buildDiscriminator("image-disc", cfg.InputDim, rng),
+		optG: nn.NewAdam(cfg.LR),
+		optD: nn.NewAdam(cfg.LR),
+		rng:  rng,
+	}
+}
+
+// TrainEpoch runs one epoch of alternating discriminator / generator
+// updates and returns the mean discriminator loss.
+func (g *GAN) TrainEpoch(data [][]float64, batch int) float64 {
+	var total float64
+	batches := miniBatches(len(data), batch, g.rng)
+	for _, idx := range batches {
+		x := gather(data, idx)
+
+		// Discriminator: real x vs generated G(z').
+		zp := tensor.New(x.R, g.Cfg.Latent)
+		g.rng.FillNormal(zp, 1)
+		xFake := g.Gen.Predict(zp)
+		g.DI.ZeroGrad()
+		pReal := g.DI.Forward(x, true)
+		lr, gReal := nn.BCEScalarTarget(pReal, 1)
+		g.DI.Backward(gReal)
+		pFake := g.DI.Forward(xFake, true)
+		lf, gFake := nn.BCEScalarTarget(pFake, 0)
+		g.DI.Backward(gFake)
+		g.optD.Step(g.DI.Params())
+		total += lr + lf
+
+		// Generator: fool the discriminator.
+		zp2 := tensor.New(x.R, g.Cfg.Latent)
+		g.rng.FillNormal(zp2, 1)
+		xg := g.Gen.Forward(zp2, true)
+		p := g.DI.Forward(xg, true)
+		_, gg := nn.BCEScalarTarget(p, 1)
+		g.Gen.ZeroGrad()
+		g.DI.ZeroGrad()
+		gx := g.DI.Backward(gg)
+		g.Gen.Backward(gx)
+		g.optG.Step(g.Gen.Params())
+	}
+	return total / float64(len(batches))
+}
+
+// Generate synthesises one image from a latent sample.
+func (g *GAN) Generate(z []float64) []float64 {
+	out := g.Gen.Predict(tensor.FromVec(z))
+	r := make([]float64, out.C)
+	copy(r, out.Row(0))
+	return r
+}
+
+// Discriminate returns DI's real-image probability for one image.
+func (g *GAN) Discriminate(x []float64) float64 {
+	return g.DI.Predict(tensor.FromVec(x)).V[0]
+}

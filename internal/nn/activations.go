@@ -1,0 +1,187 @@
+package nn
+
+import (
+	"math"
+
+	"odin/internal/tensor"
+)
+
+// ReLU is the rectified linear activation max(0, x).
+type ReLU struct {
+	lastIn *tensor.Mat
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward applies max(0, x) element-wise.
+func (r *ReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	r.lastIn = x
+	out := x.Clone()
+	for i, v := range out.V {
+		if v < 0 {
+			out.V[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward zeroes the gradient where the input was negative.
+func (r *ReLU) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := grad.Clone()
+	for i, v := range r.lastIn.V {
+		if v < 0 {
+			out.V[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns nil: ReLU has no trainable parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+// LeakyReLU is max(x, alpha*x), the activation used by GAN discriminators.
+type LeakyReLU struct {
+	Alpha  float64
+	lastIn *tensor.Mat
+}
+
+// NewLeakyReLU returns a leaky ReLU with the given negative slope.
+func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward applies the leaky rectifier element-wise.
+func (l *LeakyReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	l.lastIn = x
+	out := x.Clone()
+	for i, v := range out.V {
+		if v < 0 {
+			out.V[i] = v * l.Alpha
+		}
+	}
+	return out
+}
+
+// Backward scales the gradient by alpha where the input was negative.
+func (l *LeakyReLU) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := grad.Clone()
+	for i, v := range l.lastIn.V {
+		if v < 0 {
+			out.V[i] *= l.Alpha
+		}
+	}
+	return out
+}
+
+// Params returns nil: LeakyReLU has no trainable parameters.
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct {
+	lastOut *tensor.Mat
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward applies the logistic function element-wise.
+func (s *Sigmoid) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	out := x.Clone()
+	for i, v := range out.V {
+		out.V[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.lastOut = out
+	return out
+}
+
+// Backward multiplies the gradient by σ(x)(1−σ(x)).
+func (s *Sigmoid) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := grad.Clone()
+	for i, y := range s.lastOut.V {
+		out.V[i] *= y * (1 - y)
+	}
+	return out
+}
+
+// Params returns nil: Sigmoid has no trainable parameters.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	lastOut *tensor.Mat
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward applies tanh element-wise.
+func (t *Tanh) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	out := x.Clone()
+	for i, v := range out.V {
+		out.V[i] = math.Tanh(v)
+	}
+	t.lastOut = out
+	return out
+}
+
+// Backward multiplies the gradient by 1−tanh²(x).
+func (t *Tanh) Backward(grad *tensor.Mat) *tensor.Mat {
+	out := grad.Clone()
+	for i, y := range t.lastOut.V {
+		out.V[i] *= 1 - y*y
+	}
+	return out
+}
+
+// Params returns nil: Tanh has no trainable parameters.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Dropout randomly zeroes activations during training with probability P,
+// scaling survivors by 1/(1−P) (inverted dropout). At inference it is the
+// identity.
+type Dropout struct {
+	P    float64
+	rng  *tensor.RNG
+	mask []float64
+}
+
+// NewDropout returns a dropout layer with drop probability p.
+func NewDropout(p float64, rng *tensor.RNG) *Dropout {
+	return &Dropout{P: p, rng: rng}
+}
+
+// Forward applies the dropout mask when train is true.
+func (d *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if !train || d.P <= 0 {
+		d.mask = nil
+		return x
+	}
+	out := x.Clone()
+	d.mask = make([]float64, len(x.V))
+	keep := 1 - d.P
+	inv := 1 / keep
+	for i := range out.V {
+		if d.rng.Float64() < keep {
+			d.mask[i] = inv
+			out.V[i] *= inv
+		} else {
+			d.mask[i] = 0
+			out.V[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward applies the same mask to the gradient.
+func (d *Dropout) Backward(grad *tensor.Mat) *tensor.Mat {
+	if d.mask == nil {
+		return grad
+	}
+	out := grad.Clone()
+	for i := range out.V {
+		out.V[i] *= d.mask[i]
+	}
+	return out
+}
+
+// Params returns nil: Dropout has no trainable parameters.
+func (d *Dropout) Params() []*Param { return nil }

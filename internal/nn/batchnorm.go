@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+
+	"odin/internal/tensor"
+)
+
+// BatchNorm normalises each feature column over the batch during training
+// and tracks running statistics for inference. The paper's heavyweight YOLO
+// baseline uses batch normalisation; the pruned YOLO-Specialized models drop
+// it (§5.2), which this substrate mirrors.
+type BatchNorm struct {
+	Dim      int
+	Eps      float64
+	Momentum float64
+
+	Gamma *Param
+	Beta  *Param
+
+	RunMean []float64
+	RunVar  []float64
+
+	// Caches for backward.
+	lastXHat *tensor.Mat
+	lastStd  []float64
+	lastN    int
+}
+
+// NewBatchNorm builds a batch-normalisation layer over dim features.
+func NewBatchNorm(dim int) *BatchNorm {
+	b := &BatchNorm{
+		Dim:      dim,
+		Eps:      1e-5,
+		Momentum: 0.9,
+		Gamma:    newParam("bn.gamma", 1, dim),
+		Beta:     newParam("bn.beta", 1, dim),
+		RunMean:  make([]float64, dim),
+		RunVar:   make([]float64, dim),
+	}
+	b.Gamma.W.Fill(1)
+	for i := range b.RunVar {
+		b.RunVar[i] = 1
+	}
+	return b
+}
+
+// Forward normalises the batch with batch statistics (train) or running
+// statistics (inference).
+func (b *BatchNorm) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.C != b.Dim {
+		panic("nn: batchnorm width mismatch")
+	}
+	out := tensor.New(x.R, x.C)
+	if !train || x.R == 1 {
+		for i := 0; i < x.R; i++ {
+			src, dst := x.Row(i), out.Row(i)
+			for j := range src {
+				xh := (src[j] - b.RunMean[j]) / math.Sqrt(b.RunVar[j]+b.Eps)
+				dst[j] = b.Gamma.W.V[j]*xh + b.Beta.W.V[j]
+			}
+		}
+		b.lastXHat = nil
+		return out
+	}
+	n := float64(x.R)
+	mean := make([]float64, b.Dim)
+	variance := make([]float64, b.Dim)
+	for i := 0; i < x.R; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	for i := 0; i < x.R; i++ {
+		for j, v := range x.Row(i) {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= n
+	}
+	b.lastStd = make([]float64, b.Dim)
+	for j := range variance {
+		b.lastStd[j] = math.Sqrt(variance[j] + b.Eps)
+	}
+	xhat := tensor.New(x.R, x.C)
+	for i := 0; i < x.R; i++ {
+		src, xh, dst := x.Row(i), xhat.Row(i), out.Row(i)
+		for j := range src {
+			h := (src[j] - mean[j]) / b.lastStd[j]
+			xh[j] = h
+			dst[j] = b.Gamma.W.V[j]*h + b.Beta.W.V[j]
+		}
+	}
+	b.lastXHat = xhat
+	b.lastN = x.R
+	for j := range mean {
+		b.RunMean[j] = b.Momentum*b.RunMean[j] + (1-b.Momentum)*mean[j]
+		b.RunVar[j] = b.Momentum*b.RunVar[j] + (1-b.Momentum)*variance[j]
+	}
+	return out
+}
+
+// Backward implements the standard batch-norm gradient.
+func (b *BatchNorm) Backward(grad *tensor.Mat) *tensor.Mat {
+	if b.lastXHat == nil {
+		// Inference-mode backward (running stats are constants).
+		dx := grad.Clone()
+		for i := 0; i < dx.R; i++ {
+			row := dx.Row(i)
+			for j := range row {
+				row[j] *= b.Gamma.W.V[j] / math.Sqrt(b.RunVar[j]+b.Eps)
+			}
+		}
+		return dx
+	}
+	n := float64(b.lastN)
+	sumG := make([]float64, b.Dim)
+	sumGX := make([]float64, b.Dim)
+	for i := 0; i < grad.R; i++ {
+		g, xh := grad.Row(i), b.lastXHat.Row(i)
+		for j := range g {
+			sumG[j] += g[j]
+			sumGX[j] += g[j] * xh[j]
+			b.Beta.Grad.V[j] += g[j]
+			b.Gamma.Grad.V[j] += g[j] * xh[j]
+		}
+	}
+	dx := tensor.New(grad.R, grad.C)
+	for i := 0; i < grad.R; i++ {
+		g, xh, dst := grad.Row(i), b.lastXHat.Row(i), dx.Row(i)
+		for j := range g {
+			dst[j] = b.Gamma.W.V[j] / (n * b.lastStd[j]) *
+				(n*g[j] - sumG[j] - xh[j]*sumGX[j])
+		}
+	}
+	return dx
+}
+
+// Params returns the scale and shift parameters.
+func (b *BatchNorm) Params() []*Param { return []*Param{b.Gamma, b.Beta} }

@@ -1,0 +1,275 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"odin/internal/tensor"
+)
+
+// convWorkers bounds the per-layer batch parallelism.
+var convWorkers = runtime.GOMAXPROCS(0)
+
+// parallelFor runs fn(i) for i in [0, n) across up to convWorkers
+// goroutines. Small batches run inline to avoid scheduling overhead.
+func parallelFor(n int, fn func(i int)) {
+	workers := convWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 4 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Conv2D is a 2-D convolution over channel-major C×H×W rows, implemented
+// with im2col so the inner loop is a matrix multiply. Output rows are
+// flattened OutC×OutH×OutW.
+type Conv2D struct {
+	InC, InH, InW  int
+	OutC           int
+	K, Stride, Pad int
+	OutH, OutW     int
+
+	Weight *Param // OutC × (K*K*InC)
+	Bias   *Param // 1 × OutC
+
+	lastCols []*tensor.Mat // im2col matrices per batch sample
+	lastN    int
+}
+
+// NewConv2D builds a conv layer. Output spatial dims follow the standard
+// formula out = (in + 2*pad - k)/stride + 1; the construction panics when
+// the geometry does not divide evenly, surfacing architecture typos early.
+func NewConv2D(inC, inH, inW, outC, k, stride, pad int, rng *tensor.RNG) *Conv2D {
+	outH := (inH+2*pad-k)/stride + 1
+	outW := (inW+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		panic(fmt.Sprintf("nn: conv2d produces empty output for input %dx%dx%d k=%d s=%d p=%d", inC, inH, inW, k, stride, pad))
+	}
+	c := &Conv2D{
+		InC: inC, InH: inH, InW: inW,
+		OutC: outC, K: k, Stride: stride, Pad: pad,
+		OutH: outH, OutW: outW,
+		Weight: newParam("conv.W", outC, k*k*inC),
+		Bias:   newParam("conv.b", 1, outC),
+	}
+	fanIn := float64(k * k * inC)
+	bound := math.Sqrt(6.0 / fanIn)
+	rng.FillUniform(c.Weight.W, -bound, bound)
+	return c
+}
+
+// OutSize returns the flattened output width OutC*OutH*OutW.
+func (c *Conv2D) OutSize() int { return c.OutC * c.OutH * c.OutW }
+
+// InSize returns the flattened input width InC*InH*InW.
+func (c *Conv2D) InSize() int { return c.InC * c.InH * c.InW }
+
+// im2col unrolls one flattened sample into a (K*K*InC) × (OutH*OutW) patch
+// matrix.
+func (c *Conv2D) im2col(row []float64) *tensor.Mat {
+	cols := tensor.New(c.K*c.K*c.InC, c.OutH*c.OutW)
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				crow := cols.Row((ch*c.K+ky)*c.K + kx)
+				idx := 0
+				for oy := 0; oy < c.OutH; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for ox := 0; ox < c.OutW; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+							crow[idx] = row[chOff+iy*c.InW+ix]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// col2im scatters a patch-matrix gradient back into a flattened sample
+// gradient.
+func (c *Conv2D) col2im(cols *tensor.Mat, dst []float64) {
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				crow := cols.Row((ch*c.K+ky)*c.K + kx)
+				idx := 0
+				for oy := 0; oy < c.OutH; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					for ox := 0; ox < c.OutW; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
+							dst[chOff+iy*c.InW+ix] += crow[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward convolves each sample in the batch.
+func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.C != c.InSize() {
+		panic(fmt.Sprintf("nn: conv2d input width %d, want %d", x.C, c.InSize()))
+	}
+	c.lastN = x.R
+	c.lastCols = make([]*tensor.Mat, x.R)
+	out := tensor.New(x.R, c.OutSize())
+	spatial := c.OutH * c.OutW
+	parallelFor(x.R, func(n int) {
+		cols := c.im2col(x.Row(n))
+		c.lastCols[n] = cols
+		y := tensor.New(c.OutC, spatial)
+		tensor.MatMulInto(y, c.Weight.W, cols)
+		orow := out.Row(n)
+		for oc := 0; oc < c.OutC; oc++ {
+			b := c.Bias.W.V[oc]
+			yrow := y.Row(oc)
+			dst := orow[oc*spatial : (oc+1)*spatial]
+			for i, v := range yrow {
+				dst[i] = v + b
+			}
+		}
+	})
+	return out
+}
+
+// Backward accumulates weight/bias gradients and returns the input gradient.
+// The batch dimension is processed in parallel with per-sample gradient
+// buffers merged at the end.
+func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
+	spatial := c.OutH * c.OutW
+	dx := tensor.New(grad.R, c.InSize())
+	dWs := make([]*tensor.Mat, grad.R)
+	dBs := make([][]float64, grad.R)
+	parallelFor(grad.R, func(n int) {
+		g := tensor.New(c.OutC, spatial)
+		grow := grad.Row(n)
+		for oc := 0; oc < c.OutC; oc++ {
+			copy(g.Row(oc), grow[oc*spatial:(oc+1)*spatial])
+		}
+		// Bias gradient: sum over spatial positions.
+		db := make([]float64, c.OutC)
+		for oc := 0; oc < c.OutC; oc++ {
+			var s float64
+			for _, v := range g.Row(oc) {
+				s += v
+			}
+			db[oc] = s
+		}
+		dBs[n] = db
+		// Weight gradient: g × colsᵀ.
+		dW := tensor.New(c.Weight.W.R, c.Weight.W.C)
+		tensor.MatMulBTInto(dW, g, c.lastCols[n])
+		dWs[n] = dW
+		// Input gradient: Wᵀ × g, scattered by col2im.
+		dCols := tensor.New(c.K*c.K*c.InC, spatial)
+		tensor.MatMulATInto(dCols, c.Weight.W, g)
+		c.col2im(dCols, dx.Row(n))
+	})
+	for n := 0; n < grad.R; n++ {
+		c.Weight.Grad.Add(dWs[n])
+		for oc, v := range dBs[n] {
+			c.Bias.Grad.V[oc] += v
+		}
+	}
+	return dx
+}
+
+// Params returns the kernel and bias parameters.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// Upsample2D performs nearest-neighbour spatial upsampling by an integer
+// factor, used by decoders instead of transposed convolutions.
+type Upsample2D struct {
+	InC, InH, InW int
+	Scale         int
+	OutH, OutW    int
+}
+
+// NewUpsample2D builds a nearest-neighbour upsampler.
+func NewUpsample2D(inC, inH, inW, scale int) *Upsample2D {
+	return &Upsample2D{
+		InC: inC, InH: inH, InW: inW, Scale: scale,
+		OutH: inH * scale, OutW: inW * scale,
+	}
+}
+
+// OutSize returns the flattened output width.
+func (u *Upsample2D) OutSize() int { return u.InC * u.OutH * u.OutW }
+
+// Forward replicates each input pixel into a Scale×Scale block.
+func (u *Upsample2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.C != u.InC*u.InH*u.InW {
+		panic("nn: upsample input width mismatch")
+	}
+	out := tensor.New(x.R, u.OutSize())
+	for n := 0; n < x.R; n++ {
+		src := x.Row(n)
+		dst := out.Row(n)
+		for ch := 0; ch < u.InC; ch++ {
+			sOff := ch * u.InH * u.InW
+			dOff := ch * u.OutH * u.OutW
+			for y := 0; y < u.OutH; y++ {
+				sy := y / u.Scale
+				for xx := 0; xx < u.OutW; xx++ {
+					dst[dOff+y*u.OutW+xx] = src[sOff+sy*u.InW+xx/u.Scale]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward sums gradients over each Scale×Scale block.
+func (u *Upsample2D) Backward(grad *tensor.Mat) *tensor.Mat {
+	dx := tensor.New(grad.R, u.InC*u.InH*u.InW)
+	for n := 0; n < grad.R; n++ {
+		src := grad.Row(n)
+		dst := dx.Row(n)
+		for ch := 0; ch < u.InC; ch++ {
+			sOff := ch * u.OutH * u.OutW
+			dOff := ch * u.InH * u.InW
+			for y := 0; y < u.OutH; y++ {
+				sy := y / u.Scale
+				for xx := 0; xx < u.OutW; xx++ {
+					dst[dOff+sy*u.InW+xx/u.Scale] += src[sOff+y*u.OutW+xx]
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Params returns nil: upsampling has no trainable parameters.
+func (u *Upsample2D) Params() []*Param { return nil }

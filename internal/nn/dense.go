@@ -1,0 +1,66 @@
+package nn
+
+import (
+	"math"
+
+	"odin/internal/tensor"
+)
+
+// Dense is a fully connected layer computing y = xW + b.
+type Dense struct {
+	In, Out int
+	Weight  *Param
+	Bias    *Param
+
+	lastIn *tensor.Mat // cached input for backward
+}
+
+// NewDense creates a dense layer with He-uniform initialised weights.
+func NewDense(in, out int, rng *tensor.RNG) *Dense {
+	d := &Dense{
+		In:     in,
+		Out:    out,
+		Weight: newParam("dense.W", in, out),
+		Bias:   newParam("dense.b", 1, out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	rng.FillUniform(d.Weight.W, -bound, bound)
+	return d
+}
+
+// Forward computes xW + b for a batch x (rows are examples).
+func (d *Dense) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if x.C != d.In {
+		panic("nn: dense input width mismatch")
+	}
+	d.lastIn = x
+	out := tensor.New(x.R, d.Out)
+	tensor.MatMulInto(out, x, d.Weight.W)
+	for i := 0; i < out.R; i++ {
+		row := out.Row(i)
+		for j, b := range d.Bias.W.V {
+			row[j] += b
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW = xᵀg, db = Σ rows of g and returns dx = gWᵀ.
+func (d *Dense) Backward(grad *tensor.Mat) *tensor.Mat {
+	x := d.lastIn
+	dW := tensor.New(d.In, d.Out)
+	tensor.MatMulATInto(dW, x, grad)
+	d.Weight.Grad.Add(dW)
+	for i := 0; i < grad.R; i++ {
+		row := grad.Row(i)
+		for j, g := range row {
+			d.Bias.Grad.V[j] += g
+		}
+	}
+	dx := tensor.New(grad.R, d.In)
+	tensor.MatMulBTInto(dx, grad, d.Weight.W)
+	return dx
+}
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }

@@ -1,0 +1,101 @@
+// Package nn is a from-scratch reverse-mode neural-network library used as
+// the training substrate for every model in the repository: autoencoders,
+// adversarial autoencoders, the DA-GAN, the YOLO-style grid detectors and
+// the lightweight query filters. It supports dense and convolutional layers,
+// batch normalisation, dropout, the standard activation functions, BCE /
+// MSE / softmax cross-entropy losses and SGD / Adam optimizers.
+//
+// Data layout: a batch is a tensor.Mat whose rows are flattened examples.
+// Spatial layers (Conv2D, Upsample2D) carry their own (C, H, W) input shape
+// and interpret each row as channel-major C×H×W.
+package nn
+
+import (
+	"fmt"
+
+	"odin/internal/tensor"
+)
+
+// Param is one trainable parameter tensor together with its gradient
+// accumulator. Optimizers update W in place using Grad.
+type Param struct {
+	Name string
+	W    *tensor.Mat
+	Grad *tensor.Mat
+}
+
+func newParam(name string, r, c int) *Param {
+	return &Param{Name: name, W: tensor.New(r, c), Grad: tensor.New(r, c)}
+}
+
+// Layer is a differentiable network stage. Forward consumes a batch and
+// produces a batch; Backward consumes the gradient of the loss with respect
+// to the layer output and returns the gradient with respect to the layer
+// input, accumulating parameter gradients along the way.
+type Layer interface {
+	Forward(x *tensor.Mat, train bool) *tensor.Mat
+	Backward(grad *tensor.Mat) *tensor.Mat
+	Params() []*Param
+}
+
+// Network is a sequential container of layers. It itself satisfies Layer,
+// so networks can be nested.
+type Network struct {
+	Name   string
+	Layers []Layer
+}
+
+// NewNetwork builds a sequential network from layers.
+func NewNetwork(name string, layers ...Layer) *Network {
+	return &Network{Name: name, Layers: layers}
+}
+
+// Forward runs the batch through every layer in order.
+func (n *Network) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates grad through the layers in reverse order and returns
+// the gradient with respect to the network input.
+func (n *Network) Backward(grad *tensor.Mat) *tensor.Mat {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns every trainable parameter in the network.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears every parameter gradient.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar weights.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += len(p.W.V)
+	}
+	return total
+}
+
+// String summarises the network for logs.
+func (n *Network) String() string {
+	return fmt.Sprintf("%s(%d layers, %d params)", n.Name, len(n.Layers), n.NumParams())
+}
+
+// Predict is Forward in inference mode (train=false).
+func (n *Network) Predict(x *tensor.Mat) *tensor.Mat { return n.Forward(x, false) }

@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"math"
+
+	"odin/internal/tensor"
+)
+
+const lossEps = 1e-7
+
+// MSE returns the mean squared error over all elements and its gradient
+// with respect to pred.
+func MSE(pred, target *tensor.Mat) (float64, *tensor.Mat) {
+	if pred.R != target.R || pred.C != target.C {
+		panic("nn: mse shape mismatch")
+	}
+	n := float64(len(pred.V))
+	grad := tensor.New(pred.R, pred.C)
+	var loss float64
+	for i, p := range pred.V {
+		d := p - target.V[i]
+		loss += d * d
+		grad.V[i] = 2 * d / n
+	}
+	return loss / n, grad
+}
+
+// BCE returns the binary cross-entropy between probabilities pred∈(0,1) and
+// targets∈[0,1], averaged over all elements, plus the gradient w.r.t. pred.
+// This is the reconstruction loss of Equation 5 and the discriminator loss
+// of Equations 3–4 when the network ends in a Sigmoid.
+func BCE(pred, target *tensor.Mat) (float64, *tensor.Mat) {
+	if pred.R != target.R || pred.C != target.C {
+		panic("nn: bce shape mismatch")
+	}
+	n := float64(len(pred.V))
+	grad := tensor.New(pred.R, pred.C)
+	var loss float64
+	for i, p := range pred.V {
+		p = clamp(p, lossEps, 1-lossEps)
+		t := target.V[i]
+		loss += -(t*math.Log(p) + (1-t)*math.Log(1-p))
+		grad.V[i] = (p - t) / (p * (1 - p)) / n
+	}
+	return loss / n, grad
+}
+
+// BCEScalarTarget is BCE against a constant target (all-ones or all-zeros),
+// the common case for GAN discriminator updates.
+func BCEScalarTarget(pred *tensor.Mat, target float64) (float64, *tensor.Mat) {
+	n := float64(len(pred.V))
+	grad := tensor.New(pred.R, pred.C)
+	var loss float64
+	for i, p := range pred.V {
+		p = clamp(p, lossEps, 1-lossEps)
+		loss += -(target*math.Log(p) + (1-target)*math.Log(1-p))
+		grad.V[i] = (p - target) / (p * (1 - p)) / n
+	}
+	return loss / n, grad
+}
+
+// BCEWithLogits computes the numerically stable binary cross-entropy on raw
+// logits against a constant target, returning the gradient w.r.t. logits.
+func BCEWithLogits(logits *tensor.Mat, target float64) (float64, *tensor.Mat) {
+	n := float64(len(logits.V))
+	grad := tensor.New(logits.R, logits.C)
+	var loss float64
+	for i, z := range logits.V {
+		// loss = max(z,0) − z*t + log(1+exp(−|z|))
+		loss += math.Max(z, 0) - z*target + math.Log1p(math.Exp(-math.Abs(z)))
+		grad.V[i] = (sigmoid(z) - target) / n
+	}
+	return loss / n, grad
+}
+
+// SoftmaxCE computes mean softmax cross-entropy for a batch of logit rows
+// against integer class labels, returning the gradient w.r.t. logits.
+func SoftmaxCE(logits *tensor.Mat, labels []int) (float64, *tensor.Mat) {
+	if logits.R != len(labels) {
+		panic("nn: softmax-ce batch mismatch")
+	}
+	grad := tensor.New(logits.R, logits.C)
+	var loss float64
+	inv := 1 / float64(logits.R)
+	for i := 0; i < logits.R; i++ {
+		row := logits.Row(i)
+		probs := softmax(row)
+		t := labels[i]
+		loss += -math.Log(clamp(probs[t], lossEps, 1))
+		grow := grad.Row(i)
+		for j, p := range probs {
+			grow[j] = p * inv
+		}
+		grow[t] -= inv
+	}
+	return loss * inv, grad
+}
+
+// Softmax returns the softmax of a logit row.
+func Softmax(row []float64) []float64 { return softmax(row) }
+
+func softmax(row []float64) []float64 {
+	maxv := math.Inf(-1)
+	for _, v := range row {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	out := make([]float64, len(row))
+	var sum float64
+	for i, v := range row {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// SigmoidScalar exposes the logistic function for single scores.
+func SigmoidScalar(z float64) float64 { return sigmoid(z) }
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

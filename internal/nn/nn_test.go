@@ -1,0 +1,374 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"odin/internal/tensor"
+)
+
+func TestMSEKnownValue(t *testing.T) {
+	pred := tensor.FromSlice(1, 2, []float64{1, 3})
+	target := tensor.FromSlice(1, 2, []float64{0, 0})
+	loss, grad := MSE(pred, target)
+	if math.Abs(loss-5) > 1e-12 {
+		t.Fatalf("loss=%v, want 5", loss)
+	}
+	if math.Abs(grad.V[0]-1) > 1e-12 || math.Abs(grad.V[1]-3) > 1e-12 {
+		t.Fatalf("grad=%v", grad.V)
+	}
+}
+
+func TestBCEPerfectPrediction(t *testing.T) {
+	pred := tensor.FromSlice(1, 2, []float64{1 - 1e-9, 1e-9})
+	target := tensor.FromSlice(1, 2, []float64{1, 0})
+	loss, _ := BCE(pred, target)
+	if loss > 1e-5 {
+		t.Fatalf("perfect prediction should give ~0 loss, got %v", loss)
+	}
+}
+
+func TestBCEGradientDirection(t *testing.T) {
+	pred := tensor.FromSlice(1, 1, []float64{0.3})
+	target := tensor.FromSlice(1, 1, []float64{1})
+	_, grad := BCE(pred, target)
+	if grad.V[0] >= 0 {
+		t.Fatalf("gradient should push prediction up, got %v", grad.V[0])
+	}
+}
+
+func TestBCEWithLogitsMatchesSigmoidBCE(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		logits := tensor.New(2, 3)
+		rng.FillNormal(logits, 2)
+		for _, target := range []float64{0, 1} {
+			l1, _ := BCEWithLogits(logits, target)
+			probs := logits.Clone()
+			for i, z := range probs.V {
+				probs.V[i] = 1 / (1 + math.Exp(-z))
+				_ = z
+			}
+			l2, _ := BCEScalarTarget(probs, target)
+			if math.Abs(l1-l2) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxCE(t *testing.T) {
+	logits := tensor.FromSlice(1, 3, []float64{10, 0, 0})
+	loss, grad := SoftmaxCE(logits, []int{0})
+	if loss > 1e-3 {
+		t.Fatalf("confident correct prediction should have low loss: %v", loss)
+	}
+	loss2, _ := SoftmaxCE(logits, []int{1})
+	if loss2 < 5 {
+		t.Fatalf("confident wrong prediction should have high loss: %v", loss2)
+	}
+	// Gradient rows sum to ~0 (softmax property).
+	var sum float64
+	for _, g := range grad.Row(0) {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-9 {
+		t.Fatalf("softmax grad row should sum to 0: %v", sum)
+	}
+}
+
+func TestSoftmaxNormalised(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := tensor.NewRNG(seed)
+		row := rng.NormVec(5)
+		p := Softmax(row)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSGDReducesQuadratic(t *testing.T) {
+	p := &Param{W: tensor.FromSlice(1, 1, []float64{5}), Grad: tensor.New(1, 1)}
+	opt := NewSGD(0.1)
+	for i := 0; i < 100; i++ {
+		p.Grad.V[0] = 2 * p.W.V[0] // d/dw w²
+		opt.Step([]*Param{p})
+		p.Grad.Zero()
+	}
+	if math.Abs(p.W.V[0]) > 1e-6 {
+		t.Fatalf("SGD did not converge: %v", p.W.V[0])
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p := &Param{W: tensor.FromSlice(1, 1, []float64{5}), Grad: tensor.New(1, 1)}
+	opt := &SGD{LR: 0.05, Momentum: 0.9}
+	for i := 0; i < 200; i++ {
+		p.Grad.V[0] = 2 * p.W.V[0]
+		opt.Step([]*Param{p})
+		p.Grad.Zero()
+	}
+	if math.Abs(p.W.V[0]) > 1e-4 {
+		t.Fatalf("momentum SGD did not converge: %v", p.W.V[0])
+	}
+}
+
+func TestAdamConverges(t *testing.T) {
+	p := &Param{W: tensor.FromSlice(1, 2, []float64{5, -3}), Grad: tensor.New(1, 2)}
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		p.Grad.V[0] = 2 * p.W.V[0]
+		p.Grad.V[1] = 2 * p.W.V[1]
+		opt.Step([]*Param{p})
+		p.Grad.Zero()
+	}
+	if math.Abs(p.W.V[0]) > 1e-3 || math.Abs(p.W.V[1]) > 1e-3 {
+		t.Fatalf("Adam did not converge: %v", p.W.V)
+	}
+}
+
+func TestClipGrads(t *testing.T) {
+	p := &Param{W: tensor.New(1, 2), Grad: tensor.FromSlice(1, 2, []float64{3, 4})}
+	ClipGrads([]*Param{p}, 1)
+	norm := math.Hypot(p.Grad.V[0], p.Grad.V[1])
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("clipped norm=%v, want 1", norm)
+	}
+	// Already below threshold: unchanged.
+	p2 := &Param{W: tensor.New(1, 1), Grad: tensor.FromSlice(1, 1, []float64{0.5})}
+	ClipGrads([]*Param{p2}, 1)
+	if p2.Grad.V[0] != 0.5 {
+		t.Fatal("small gradient should be untouched")
+	}
+}
+
+// TestMLPLearnsXOR is the classic end-to-end sanity check: a 2-layer MLP
+// must drive XOR loss near zero.
+func TestMLPLearnsXOR(t *testing.T) {
+	rng := tensor.NewRNG(42)
+	net := NewNetwork("xor",
+		NewDense(2, 8, rng),
+		NewTanh(),
+		NewDense(8, 1, rng),
+		NewSigmoid(),
+	)
+	x := tensor.FromSlice(4, 2, []float64{0, 0, 0, 1, 1, 0, 1, 1})
+	y := tensor.FromSlice(4, 1, []float64{0, 1, 1, 0})
+	opt := NewAdam(0.05)
+	var loss float64
+	for i := 0; i < 2000; i++ {
+		out := net.Forward(x, true)
+		var grad *tensor.Mat
+		loss, grad = BCE(out, y)
+		net.ZeroGrad()
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	if loss > 0.05 {
+		t.Fatalf("XOR loss did not converge: %v", loss)
+	}
+	out := net.Predict(x)
+	for i, want := range y.V {
+		got := out.V[i]
+		if (want == 1 && got < 0.5) || (want == 0 && got >= 0.5) {
+			t.Fatalf("XOR row %d misclassified: %v", i, got)
+		}
+	}
+}
+
+func TestConvNetLearnsVerticalVsHorizontal(t *testing.T) {
+	// 6x6 single-channel images with a vertical or horizontal bar; a tiny
+	// conv net must separate them.
+	rng := tensor.NewRNG(7)
+	makeImage := func(vertical bool, pos int) []float64 {
+		img := make([]float64, 36)
+		for i := 0; i < 6; i++ {
+			if vertical {
+				img[i*6+pos] = 1
+			} else {
+				img[pos*6+i] = 1
+			}
+		}
+		return img
+	}
+	var rows []float64
+	var labels []float64
+	for pos := 0; pos < 6; pos++ {
+		rows = append(rows, makeImage(true, pos)...)
+		labels = append(labels, 1)
+		rows = append(rows, makeImage(false, pos)...)
+		labels = append(labels, 0)
+	}
+	x := tensor.FromSlice(12, 36, rows)
+	y := tensor.FromSlice(12, 1, labels)
+
+	conv := NewConv2D(1, 6, 6, 4, 3, 1, 1, rng)
+	net := NewNetwork("bars",
+		conv,
+		NewReLU(),
+		NewDense(conv.OutSize(), 1, rng),
+		NewSigmoid(),
+	)
+	opt := NewAdam(0.02)
+	var loss float64
+	for i := 0; i < 300; i++ {
+		out := net.Forward(x, true)
+		var grad *tensor.Mat
+		loss, grad = BCE(out, y)
+		net.ZeroGrad()
+		net.Backward(grad)
+		opt.Step(net.Params())
+	}
+	if loss > 0.1 {
+		t.Fatalf("conv net failed to learn bars: loss=%v", loss)
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	d := NewDropout(0.5, rng)
+	x := tensor.New(1, 1000)
+	x.Fill(1)
+	// Eval: identity.
+	out := d.Forward(x, false)
+	for _, v := range out.V {
+		if v != 1 {
+			t.Fatal("eval-mode dropout must be identity")
+		}
+	}
+	// Train: roughly half dropped, survivors scaled by 2.
+	out = d.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range out.V {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Fatalf("drop rate off: %d/1000 zeros", zeros)
+	}
+	if zeros+twos != 1000 {
+		t.Fatal("dropout mask inconsistent")
+	}
+}
+
+func TestBatchNormNormalises(t *testing.T) {
+	bn := NewBatchNorm(2)
+	rng := tensor.NewRNG(4)
+	x := tensor.New(64, 2)
+	for i := 0; i < x.R; i++ {
+		x.Set(i, 0, 5+2*rng.Norm())
+		x.Set(i, 1, -3+0.5*rng.Norm())
+	}
+	out := bn.Forward(x, true)
+	for j := 0; j < 2; j++ {
+		var sum, sq float64
+		for i := 0; i < out.R; i++ {
+			v := out.At(i, j)
+			sum += v
+			sq += v * v
+		}
+		mean := sum / float64(out.R)
+		variance := sq/float64(out.R) - mean*mean
+		if math.Abs(mean) > 1e-6 {
+			t.Fatalf("bn mean col %d = %v", j, mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Fatalf("bn var col %d = %v", j, variance)
+		}
+	}
+}
+
+func TestNetworkNumParamsAndString(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	net := NewNetwork("n", NewDense(3, 4, rng), NewReLU(), NewDense(4, 2, rng))
+	want := 3*4 + 4 + 4*2 + 2
+	if got := net.NumParams(); got != want {
+		t.Fatalf("NumParams=%d, want %d", got, want)
+	}
+	if net.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestSaveLoadWeightsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	build := func(r *tensor.RNG) *Network {
+		return NewNetwork("rt", NewDense(4, 5, r), NewTanh(), NewDense(5, 2, r))
+	}
+	src := build(rng)
+	var buf bytes.Buffer
+	if err := SaveWeights(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := build(tensor.NewRNG(999))
+	if err := LoadWeights(dst, &buf); err != nil {
+		t.Fatal(err)
+	}
+	in := randomBatch(3, 4, 7)
+	a := src.Predict(in)
+	b := dst.Predict(in)
+	for i := range a.V {
+		if a.V[i] != b.V[i] {
+			t.Fatal("loaded network differs from saved network")
+		}
+	}
+}
+
+func TestLoadWeightsShapeMismatch(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	src := NewNetwork("a", NewDense(4, 5, rng))
+	var buf bytes.Buffer
+	if err := SaveWeights(src, &buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewNetwork("b", NewDense(4, 6, rng))
+	if err := LoadWeights(dst, &buf); err == nil {
+		t.Fatal("expected shape-mismatch error")
+	}
+}
+
+func TestConvOutputGeometry(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	c := NewConv2D(3, 27, 48, 16, 3, 2, 1, rng)
+	if c.OutH != 14 || c.OutW != 24 {
+		t.Fatalf("conv geometry: got %dx%d", c.OutH, c.OutW)
+	}
+	x := randomBatch(2, 3*27*48, 10)
+	out := c.Forward(x, false)
+	if out.R != 2 || out.C != 16*14*24 {
+		t.Fatalf("conv output shape: %dx%d", out.R, out.C)
+	}
+}
+
+func TestUpsampleValues(t *testing.T) {
+	u := NewUpsample2D(1, 2, 2, 2)
+	x := tensor.FromSlice(1, 4, []float64{1, 2, 3, 4})
+	out := u.Forward(x, false)
+	want := []float64{1, 1, 2, 2, 1, 1, 2, 2, 3, 3, 4, 4, 3, 3, 4, 4}
+	for i, v := range out.V {
+		if v != want[i] {
+			t.Fatalf("upsample values: got %v", out.V)
+		}
+	}
+}

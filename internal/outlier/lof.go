@@ -1,0 +1,107 @@
+package outlier
+
+import (
+	"math"
+	"sort"
+
+	"odin/internal/tensor"
+)
+
+// LOF is the Local Outlier Factor detector of Breunig et al. (SIGMOD 2000),
+// the paper's first Table 1 baseline. It estimates the local density of
+// each training point; a query whose local density is much lower than that
+// of its neighbours receives a score well above 1.
+type LOF struct {
+	K int
+
+	train []([]float64)
+	kdist []float64 // k-distance of each training point
+	lrd   []float64 // local reachability density of each training point
+}
+
+// NewLOF returns a LOF detector with the given neighbourhood size.
+func NewLOF(k int) *LOF {
+	if k <= 0 {
+		k = 10
+	}
+	return &LOF{K: k}
+}
+
+// neighbor pairs an index with a distance.
+type neighbor struct {
+	idx int
+	d   float64
+}
+
+// nearestTo returns the k training points nearest to x, excluding index
+// skip (used to exclude self during fitting).
+func (l *LOF) nearestTo(x []float64, skip, k int) []neighbor {
+	ns := make([]neighbor, 0, len(l.train))
+	for i, p := range l.train {
+		if i == skip {
+			continue
+		}
+		ns = append(ns, neighbor{i, tensor.L2(x, p)})
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].d < ns[b].d })
+	if k > len(ns) {
+		k = len(ns)
+	}
+	return ns[:k]
+}
+
+// Fit computes every training point's k-distance and local reachability
+// density.
+func (l *LOF) Fit(train [][]float64) {
+	l.train = train
+	n := len(train)
+	l.kdist = make([]float64, n)
+	l.lrd = make([]float64, n)
+	neighbors := make([][]neighbor, n)
+	for i, p := range train {
+		ns := l.nearestTo(p, i, l.K)
+		neighbors[i] = ns
+		if len(ns) > 0 {
+			l.kdist[i] = ns[len(ns)-1].d
+		}
+	}
+	for i := range train {
+		var sum float64
+		for _, nb := range neighbors[i] {
+			sum += math.Max(l.kdist[nb.idx], nb.d) // reachability distance
+		}
+		if sum == 0 {
+			l.lrd[i] = math.Inf(1)
+		} else {
+			l.lrd[i] = float64(len(neighbors[i])) / sum
+		}
+	}
+}
+
+// Score returns the LOF value of a query point: ≈1 for inliers, larger for
+// outliers.
+func (l *LOF) Score(x []float64) float64 {
+	ns := l.nearestTo(x, -1, l.K)
+	if len(ns) == 0 {
+		return 0
+	}
+	var reachSum float64
+	for _, nb := range ns {
+		reachSum += math.Max(l.kdist[nb.idx], nb.d)
+	}
+	if reachSum == 0 {
+		return 0 // x coincides with a dense training region
+	}
+	lrdX := float64(len(ns)) / reachSum
+	var ratioSum float64
+	for _, nb := range ns {
+		lr := l.lrd[nb.idx]
+		if math.IsInf(lr, 1) {
+			lr = 1e12
+		}
+		ratioSum += lr / lrdX
+	}
+	return ratioSum / float64(len(ns))
+}
+
+var _ Detector = (*LOF)(nil)

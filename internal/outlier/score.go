@@ -1,0 +1,194 @@
+// Package outlier implements the drift/outlier-detection baselines the
+// paper compares DA-GAN against in Table 1 — LOF (Breunig et al.), DRAE
+// (Xia et al.), PCA reconstruction error — plus latent-space k-NN detectors
+// over any gan.Projector (AE, AAE, DA-GAN), unsupervised Otsu thresholding
+// and F1 evaluation.
+package outlier
+
+import (
+	"math"
+	"sort"
+)
+
+// Detector is an unsupervised outlier scorer: Fit consumes in-distribution
+// (or contaminated) training data; Score returns a value that is higher for
+// points less likely to come from the training distribution.
+type Detector interface {
+	Fit(train [][]float64)
+	Score(x []float64) float64
+}
+
+// OtsuThreshold picks the score threshold that maximises between-class
+// variance of the score histogram — the unsupervised two-mode separation
+// that DRAE's discriminative reconstruction objective converges to.
+func OtsuThreshold(scores []float64) float64 {
+	if len(scores) == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range scores {
+		lo = math.Min(lo, s)
+		hi = math.Max(hi, s)
+	}
+	if hi <= lo {
+		return lo
+	}
+	const bins = 64
+	hist := make([]float64, bins)
+	for _, s := range scores {
+		b := int((s - lo) / (hi - lo) * bins)
+		if b >= bins {
+			b = bins - 1
+		}
+		hist[b]++
+	}
+	total := float64(len(scores))
+	var sumAll float64
+	for i, c := range hist {
+		sumAll += float64(i) * c
+	}
+	var wB, sumB, bestVar float64
+	best := 0
+	for i := 0; i < bins; i++ {
+		wB += hist[i]
+		if wB == 0 {
+			continue
+		}
+		wF := total - wB
+		if wF == 0 {
+			break
+		}
+		sumB += float64(i) * hist[i]
+		mB := sumB / wB
+		mF := (sumAll - sumB) / wF
+		v := wB * wF * (mB - mF) * (mB - mF)
+		if v > bestVar {
+			bestVar = v
+			best = i
+		}
+	}
+	return lo + (float64(best)+0.5)/bins*(hi-lo)
+}
+
+// Confusion counts binary classification outcomes for the outlier class.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Precision of the outlier class (1 when no positives were predicted).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall of the outlier class (1 when there were no outliers).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy is overall classification accuracy.
+func (c Confusion) Accuracy() float64 {
+	n := c.TP + c.FP + c.TN + c.FN
+	if n == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(n)
+}
+
+// Evaluate thresholds scores and compares against ground truth (true =
+// outlier).
+func Evaluate(scores []float64, isOutlier []bool, thr float64) Confusion {
+	var c Confusion
+	for i, s := range scores {
+		pred := s > thr
+		switch {
+		case pred && isOutlier[i]:
+			c.TP++
+		case pred && !isOutlier[i]:
+			c.FP++
+		case !pred && isOutlier[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// F1Score runs the full unsupervised protocol: Otsu threshold on the score
+// distribution, then outlier-class F1. When the test set contains no
+// outliers (the paper's 0% row), it returns the fraction of inliers
+// correctly retained below threshold — the analogous "nothing falsely
+// flagged" quality measure — using a high quantile of the scores as the
+// operating threshold, since a two-mode threshold does not exist.
+func F1Score(scores []float64, isOutlier []bool) float64 {
+	any := false
+	for _, o := range isOutlier {
+		if o {
+			any = true
+			break
+		}
+	}
+	if !any {
+		thr := Quantile(scores, 0.99)
+		kept := 0
+		for _, s := range scores {
+			if s <= thr {
+				kept++
+			}
+		}
+		return float64(kept) / float64(len(scores))
+	}
+	thr := OtsuThreshold(scores)
+	return Evaluate(scores, isOutlier, thr).F1()
+}
+
+// BestF1 sweeps all score thresholds and returns the maximum achievable F1
+// (the oracle upper bound, used in tests and diagnostics).
+func BestF1(scores []float64, isOutlier []bool) (float64, float64) {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	best, bestThr := 0.0, 0.0
+	for k := 0; k < len(idx); k++ {
+		thr := scores[idx[k]]
+		c := Evaluate(scores, isOutlier, thr)
+		if f := c.F1(); f > best {
+			best = f
+			bestThr = thr
+		}
+	}
+	return best, bestThr
+}
+
+// Quantile returns the q-quantile (0..1) of values.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}

@@ -1,0 +1,211 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"odin/internal/detect"
+	"odin/internal/synth"
+)
+
+// ModelFunc produces detections for one frame — bound to a static model or
+// to ODIN's selector-driven pipeline.
+type ModelFunc func(f *synth.Frame) []detect.Detection
+
+// FilterFunc is a lightweight boolean pre-screen: false drops the frame
+// before the heavyweight model runs (§6.6 "lightweight filters").
+type FilterFunc func(f *synth.Frame) bool
+
+// Engine executes parsed queries over a frame source.
+type Engine struct {
+	Models  map[string]ModelFunc
+	Filters map[string]FilterFunc
+	// MinScore is the detection-confidence floor for counting.
+	MinScore float64
+}
+
+// NewEngine returns an engine with empty registries.
+func NewEngine() *Engine {
+	return &Engine{
+		Models:   make(map[string]ModelFunc),
+		Filters:  make(map[string]FilterFunc),
+		MinScore: 0.3,
+	}
+}
+
+// RegisterModel binds a model name usable in USING MODEL clauses.
+func (e *Engine) RegisterModel(name string, fn ModelFunc) { e.Models[name] = fn }
+
+// RegisterFilter binds a filter name usable in USING FILTER clauses.
+func (e *Engine) RegisterFilter(name string, fn FilterFunc) { e.Filters[name] = fn }
+
+// Result is the output of executing a query.
+type Result struct {
+	// Count is the total detection count (COUNT queries).
+	Count int
+	// PerFrame is the per-input-frame count, aligned with the input order;
+	// frames dropped by filters report 0.
+	PerFrame []int
+	// Detections holds per-frame detections for SELECT detections queries.
+	Detections [][]detect.Detection
+
+	FramesScanned  int
+	FramesFiltered int // frames dropped by USING FILTER
+	ModelFrames    int // frames actually processed by a model
+}
+
+// DataReduction is the fraction of frames the filter eliminated.
+func (r Result) DataReduction() float64 {
+	if r.FramesScanned == 0 {
+		return 0
+	}
+	return float64(r.FramesFiltered) / float64(r.FramesScanned)
+}
+
+// Run parses and executes a query string over frames.
+func (e *Engine) Run(sql string, frames []*synth.Frame) (*Result, error) {
+	q, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(q, frames)
+}
+
+// Execute runs a parsed query over frames.
+func (e *Engine) Execute(q *Query, frames []*synth.Frame) (*Result, error) {
+	res := &Result{FramesScanned: len(frames)}
+	live := make([]bool, len(frames))
+	for i := range live {
+		live[i] = true
+	}
+	if err := e.exec(q, frames, live, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// exec evaluates the query tree: sub-queries first (they narrow the live
+// frame set via filters), then this level's filter, model, predicate and
+// projection.
+func (e *Engine) exec(q *Query, frames []*synth.Frame, live []bool, res *Result) error {
+	if q.Sub != nil {
+		if err := e.exec(q.Sub, frames, live, res); err != nil {
+			return err
+		}
+	}
+
+	// Filter stage.
+	if q.UseFilter != "" {
+		fn, ok := e.Filters[q.UseFilter]
+		if !ok {
+			return fmt.Errorf("query: unknown filter %q", q.UseFilter)
+		}
+		for i, f := range frames {
+			if live[i] && !fn(f) {
+				live[i] = false
+				res.FramesFiltered++
+			}
+		}
+	}
+
+	// Model + projection stage. Only the query level that names a model
+	// (or the outermost level for SELECT */detections pass-throughs)
+	// produces output.
+	if q.UseModel == "" {
+		return nil
+	}
+	fn, ok := e.Models[q.UseModel]
+	if !ok {
+		return fmt.Errorf("query: unknown model %q", q.UseModel)
+	}
+	classFilter := -1
+	if q.Where != nil {
+		if !strings.EqualFold(q.Where.Field, "class") {
+			return fmt.Errorf("query: unsupported predicate field %q", q.Where.Field)
+		}
+		classFilter = resolveClass(q.Where.Value)
+		if classFilter < 0 {
+			return fmt.Errorf("query: unknown class %q", q.Where.Value)
+		}
+	}
+
+	res.PerFrame = make([]int, len(frames))
+	res.Detections = make([][]detect.Detection, len(frames))
+	for i, f := range frames {
+		if !live[i] {
+			continue
+		}
+		res.ModelFrames++
+		dets := fn(f)
+		var kept []detect.Detection
+		for _, d := range dets {
+			if d.Score < e.MinScore {
+				continue
+			}
+			if classFilter >= 0 && d.Box.Class != classFilter {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		res.Detections[i] = kept
+		res.PerFrame[i] = len(kept)
+		res.Count += len(kept)
+	}
+	return nil
+}
+
+// resolveClass accepts a class name ('car') or a numeric id.
+func resolveClass(v string) int {
+	if id, err := strconv.Atoi(v); err == nil {
+		if id >= 0 && id < synth.NumClasses {
+			return id
+		}
+		return -1
+	}
+	return synth.ClassByName(strings.ToLower(v))
+}
+
+// QueryAccuracy is the symmetric per-frame relative count accuracy used in
+// the Table 6 reproduction: mean over frames of 1 − |pred−true| /
+// max(pred, true, 1). (The paper does not define its query-accuracy metric
+// precisely; this one is 1.0 for exact counts and degrades smoothly.)
+func QueryAccuracy(pred, truth []int) float64 {
+	if len(pred) != len(truth) {
+		panic("query: accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range pred {
+		p, tr := pred[i], truth[i]
+		den := p
+		if tr > den {
+			den = tr
+		}
+		if den == 0 {
+			sum++
+			continue
+		}
+		diff := p - tr
+		if diff < 0 {
+			diff = -diff
+		}
+		sum += 1 - float64(diff)/float64(den)
+	}
+	return sum / float64(len(pred))
+}
+
+// TrueCounts extracts the per-frame ground-truth count of a class.
+func TrueCounts(frames []*synth.Frame, class int) []int {
+	out := make([]int, len(frames))
+	for i, f := range frames {
+		for _, b := range f.Boxes {
+			if b.Class == class {
+				out[i]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SelectKind is what the query projects.
+type SelectKind int
+
+// Projection kinds.
+const (
+	SelectAll        SelectKind = iota // SELECT *
+	SelectDetections                   // SELECT detections
+	SelectCount                        // SELECT COUNT(detections)
+)
+
+// Pred is a WHERE class=<value> predicate. Value may be a class name
+// ('car') or a numeric class id.
+type Pred struct {
+	Field string
+	Value string
+}
+
+// Query is the parsed AST. Exactly one of Table / Sub is set as the source.
+type Query struct {
+	Select SelectKind
+	Table  string
+	Sub    *Query
+
+	UseModel  string
+	UseFilter string
+	Where     *Pred
+}
+
+// String re-renders the query (useful for logs and tests).
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	switch q.Select {
+	case SelectAll:
+		b.WriteString("*")
+	case SelectDetections:
+		b.WriteString("detections")
+	case SelectCount:
+		b.WriteString("COUNT(detections)")
+	}
+	b.WriteString(" FROM ")
+	if q.Sub != nil {
+		b.WriteString("(" + q.Sub.String() + ")")
+	} else {
+		b.WriteString(q.Table)
+	}
+	if q.UseFilter != "" {
+		b.WriteString(" USING FILTER " + q.UseFilter)
+	}
+	if q.UseModel != "" {
+		b.WriteString(" USING MODEL " + q.UseModel)
+	}
+	if q.Where != nil {
+		b.WriteString(fmt.Sprintf(" WHERE %s='%s'", q.Where.Field, q.Where.Value))
+	}
+	return b.String()
+}
+
+// Parse parses a query string into an AST.
+func Parse(input string) (*Query, error) {
+	toks, err := Lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, fmt.Errorf("query: trailing input at %d: %q", p.peek().Pos, p.peek().Text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+
+func (p *parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.Kind != TokKeyword || t.Text != kw {
+		return fmt.Errorf("query: expected %s at %d, got %q", kw, t.Pos, t.Text)
+	}
+	return nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+
+	// Projection.
+	switch t := p.next(); {
+	case t.Kind == TokStar:
+		q.Select = SelectAll
+	case t.Kind == TokKeyword && t.Text == "COUNT":
+		if tk := p.next(); tk.Kind != TokLParen {
+			return nil, fmt.Errorf("query: expected ( after COUNT at %d", tk.Pos)
+		}
+		arg := p.next()
+		if arg.Kind != TokIdent && arg.Kind != TokStar {
+			return nil, fmt.Errorf("query: expected COUNT argument at %d", arg.Pos)
+		}
+		if tk := p.next(); tk.Kind != TokRParen {
+			return nil, fmt.Errorf("query: expected ) at %d", tk.Pos)
+		}
+		q.Select = SelectCount
+	case t.Kind == TokIdent && strings.EqualFold(t.Text, "detections"):
+		q.Select = SelectDetections
+	default:
+		return nil, fmt.Errorf("query: unsupported projection %q at %d", t.Text, t.Pos)
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+
+	// Source: table or sub-query.
+	if p.peek().Kind == TokLParen {
+		p.next()
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if tk := p.next(); tk.Kind != TokRParen {
+			return nil, fmt.Errorf("query: expected ) closing sub-query at %d", tk.Pos)
+		}
+		q.Sub = sub
+	} else {
+		t := p.next()
+		if t.Kind != TokIdent {
+			return nil, fmt.Errorf("query: expected table name at %d, got %q", t.Pos, t.Text)
+		}
+		q.Table = t.Text
+	}
+
+	// Optional clauses in any order: USING MODEL/FILTER, WHERE.
+	for {
+		t := p.peek()
+		if t.Kind != TokKeyword {
+			break
+		}
+		switch t.Text {
+		case "USING":
+			p.next()
+			kind := p.next()
+			if kind.Kind != TokKeyword || (kind.Text != "MODEL" && kind.Text != "FILTER") {
+				return nil, fmt.Errorf("query: expected MODEL or FILTER at %d", kind.Pos)
+			}
+			name := p.next()
+			if name.Kind != TokIdent {
+				return nil, fmt.Errorf("query: expected name after USING %s at %d", kind.Text, name.Pos)
+			}
+			if kind.Text == "MODEL" {
+				q.UseModel = name.Text
+			} else {
+				q.UseFilter = name.Text
+			}
+		case "WHERE":
+			p.next()
+			field := p.next()
+			if field.Kind != TokIdent {
+				return nil, fmt.Errorf("query: expected predicate field at %d", field.Pos)
+			}
+			if eq := p.next(); eq.Kind != TokEquals {
+				return nil, fmt.Errorf("query: expected = at %d", eq.Pos)
+			}
+			val := p.next()
+			if val.Kind != TokString && val.Kind != TokNumber && val.Kind != TokIdent {
+				return nil, fmt.Errorf("query: expected predicate value at %d", val.Pos)
+			}
+			q.Where = &Pred{Field: field.Text, Value: val.Text}
+		default:
+			return q, nil
+		}
+	}
+	return q, nil
+}

@@ -1,0 +1,149 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestImageSetAtBounds(t *testing.T) {
+	im := NewImage(1, 4, 4)
+	im.Set(0, 2, 3, 0.5)
+	if im.At(0, 2, 3) != 0.5 {
+		t.Fatal("set/at roundtrip failed")
+	}
+	// Out-of-bounds are silent no-ops / zeros.
+	im.Set(0, -1, 0, 1)
+	im.Set(0, 0, 99, 1)
+	if im.At(0, -1, 0) != 0 || im.At(0, 0, 99) != 0 {
+		t.Fatal("out-of-bounds access should read 0")
+	}
+}
+
+func TestImageSetClamps(t *testing.T) {
+	im := NewImage(1, 2, 2)
+	im.Set(0, 0, 0, 1.7)
+	im.Set(0, 0, 1, -0.5)
+	if im.At(0, 0, 0) != 1 || im.At(0, 0, 1) != 0 {
+		t.Fatal("Set must clamp to [0,1]")
+	}
+}
+
+func TestFillRectAndMean(t *testing.T) {
+	im := NewImage(3, 4, 4)
+	im.Fill(1, 1, 1)
+	if math.Abs(im.Mean()-1) > 1e-12 {
+		t.Fatalf("mean=%v", im.Mean())
+	}
+	im2 := NewImage(3, 4, 4)
+	im2.FillRect(0, 0, 2, 4, 1, 1, 1) // top half
+	if math.Abs(im2.Mean()-0.5) > 1e-12 {
+		t.Fatalf("half-fill mean=%v", im2.Mean())
+	}
+}
+
+func TestScaleDarkens(t *testing.T) {
+	im := NewImage(1, 2, 2)
+	im.Fill(0.8, 0.8, 0.8)
+	im.Scale(0.5)
+	if math.Abs(im.At(0, 0, 0)-0.4) > 1e-12 {
+		t.Fatal("scale failed")
+	}
+}
+
+func TestBlendToward(t *testing.T) {
+	im := NewImage(1, 1, 1)
+	im.Set(0, 0, 0, 0.2)
+	im.BlendToward(1.0, 0.5)
+	if math.Abs(im.At(0, 0, 0)-0.6) > 1e-12 {
+		t.Fatalf("blend=%v", im.At(0, 0, 0))
+	}
+}
+
+func TestDesaturateMovesTowardLuma(t *testing.T) {
+	im := NewImage(3, 1, 1)
+	im.SetRGB(0, 0, 1, 0, 0)
+	im.Desaturate(1)
+	r, g, b := im.At(0, 0, 0), im.At(1, 0, 0), im.At(2, 0, 0)
+	if math.Abs(r-g) > 1e-9 || math.Abs(g-b) > 1e-9 {
+		t.Fatalf("full desaturation should be grey: %v %v %v", r, g, b)
+	}
+	if math.Abs(r-0.299) > 1e-9 {
+		t.Fatalf("expected luminance 0.299, got %v", r)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	im := NewImage(1, 4, 4)
+	im.FillRect(0, 0, 2, 2, 1, 1, 1) // top-left quadrant white
+	d := im.Downsample(2)
+	if d.H != 2 || d.W != 2 {
+		t.Fatalf("downsample shape %dx%d", d.H, d.W)
+	}
+	if d.At(0, 0, 0) != 1 || d.At(0, 1, 1) != 0 {
+		t.Fatalf("downsample values wrong: %v", d.Pix)
+	}
+}
+
+func TestGrayscaleRange(t *testing.T) {
+	im := NewImage(3, 2, 2)
+	im.SetRGB(0, 0, 1, 1, 1)
+	g := im.Grayscale()
+	if g.C != 1 {
+		t.Fatal("grayscale channels")
+	}
+	if math.Abs(g.At(0, 0, 0)-1) > 1e-9 {
+		t.Fatalf("white should stay white: %v", g.At(0, 0, 0))
+	}
+}
+
+func TestBoxIoU(t *testing.T) {
+	a := Box{X: 0, Y: 0, W: 10, H: 10}
+	b := Box{X: 0, Y: 0, W: 10, H: 10}
+	if math.Abs(a.IoU(b)-1) > 1e-12 {
+		t.Fatal("identical boxes should have IoU 1")
+	}
+	c := Box{X: 20, Y: 20, W: 5, H: 5}
+	if a.IoU(c) != 0 {
+		t.Fatal("disjoint boxes should have IoU 0")
+	}
+	d := Box{X: 5, Y: 0, W: 10, H: 10}
+	// inter = 5*10 = 50, union = 100+100-50 = 150
+	if math.Abs(a.IoU(d)-1.0/3) > 1e-9 {
+		t.Fatalf("partial IoU=%v, want 1/3", a.IoU(d))
+	}
+}
+
+func TestBoxIoUProperties(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		rng := newTestRNG(seed)
+		rb := func() Box {
+			return Box{X: rng.Range(0, 20), Y: rng.Range(0, 20), W: rng.Range(1, 10), H: rng.Range(1, 10)}
+		}
+		a, b := rb(), rb()
+		iou := a.IoU(b)
+		return iou >= 0 && iou <= 1 && math.Abs(iou-b.IoU(a)) < 1e-12 && math.Abs(a.IoU(a)-1) < 1e-12
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrawLineEndpoints(t *testing.T) {
+	im := NewImage(1, 10, 10)
+	im.DrawLine(1, 1, 8, 8, 1, 1, 1)
+	if im.At(0, 1, 1) != 1 || im.At(0, 8, 8) != 1 {
+		t.Fatal("line endpoints not drawn")
+	}
+}
+
+func TestDrawDisc(t *testing.T) {
+	im := NewImage(1, 10, 10)
+	im.DrawDisc(5, 5, 2, 1, 1, 1)
+	if im.At(0, 5, 5) != 1 {
+		t.Fatal("disc centre not drawn")
+	}
+	if im.At(0, 0, 0) != 0 {
+		t.Fatal("disc overdrawn")
+	}
+}

@@ -1,0 +1,353 @@
+// Package tensor provides the dense float64 matrix and vector primitives
+// that the neural-network substrate and the drift-detection algorithms are
+// built on. It is deliberately small: row-major matrices, a handful of
+// BLAS-like kernels, and deterministic random initialisation helpers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// matmulWorkers bounds row-parallelism in the matmul kernels.
+var matmulWorkers = runtime.GOMAXPROCS(0)
+
+// parallelRows runs fn(i) for each row index, fanning out to goroutines
+// when the total work is large enough to amortise scheduling.
+func parallelRows(rows int, work int, fn func(i int)) {
+	if work < 200_000 || rows < 4 || matmulWorkers <= 1 {
+		for i := 0; i < rows; i++ {
+			fn(i)
+		}
+		return
+	}
+	workers := matmulWorkers
+	if workers > rows {
+		workers = rows
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (rows + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		go func(start int) {
+			defer wg.Done()
+			end := start + chunk
+			if end > rows {
+				end = rows
+			}
+			for i := start; i < end; i++ {
+				fn(i)
+			}
+		}(w * chunk)
+	}
+	wg.Wait()
+}
+
+// Mat is a dense, row-major matrix with R rows and C columns. A Mat with
+// R==1 doubles as a vector. The zero value is an empty matrix.
+type Mat struct {
+	R, C int
+	V    []float64
+}
+
+// New returns an all-zero matrix with r rows and c columns.
+func New(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("tensor: invalid shape %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, V: make([]float64, r*c)}
+}
+
+// FromSlice wraps v (not copied) as an r-by-c matrix.
+func FromSlice(r, c int, v []float64) *Mat {
+	if len(v) != r*c {
+		panic(fmt.Sprintf("tensor: slice of len %d cannot form %dx%d", len(v), r, c))
+	}
+	return &Mat{R: r, C: c, V: v}
+}
+
+// FromVec wraps v (not copied) as a 1-by-len(v) row vector.
+func FromVec(v []float64) *Mat { return &Mat{R: 1, C: len(v), V: v} }
+
+// At returns the element at row i, column j.
+func (m *Mat) At(i, j int) float64 { return m.V[i*m.C+j] }
+
+// Set assigns the element at row i, column j.
+func (m *Mat) Set(i, j int, v float64) { m.V[i*m.C+j] = v }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) []float64 { return m.V[i*m.C : (i+1)*m.C] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	out := New(m.R, m.C)
+	copy(out.V, m.V)
+	return out
+}
+
+// CopyFrom copies src's contents into m. Shapes must match.
+func (m *Mat) CopyFrom(src *Mat) {
+	m.mustSameShape(src)
+	copy(m.V, src.V)
+}
+
+// Zero sets every element to 0.
+func (m *Mat) Zero() {
+	for i := range m.V {
+		m.V[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Mat) Fill(v float64) {
+	for i := range m.V {
+		m.V[i] = v
+	}
+}
+
+func (m *Mat) mustSameShape(o *Mat) {
+	if m.R != o.R || m.C != o.C {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", m.R, m.C, o.R, o.C))
+	}
+}
+
+// Add adds o element-wise into m (m += o).
+func (m *Mat) Add(o *Mat) {
+	m.mustSameShape(o)
+	for i, v := range o.V {
+		m.V[i] += v
+	}
+}
+
+// Sub subtracts o element-wise from m (m -= o).
+func (m *Mat) Sub(o *Mat) {
+	m.mustSameShape(o)
+	for i, v := range o.V {
+		m.V[i] -= v
+	}
+}
+
+// Scale multiplies every element of m by s.
+func (m *Mat) Scale(s float64) {
+	for i := range m.V {
+		m.V[i] *= s
+	}
+}
+
+// AddScaled performs m += s*o.
+func (m *Mat) AddScaled(s float64, o *Mat) {
+	m.mustSameShape(o)
+	for i, v := range o.V {
+		m.V[i] += s * v
+	}
+}
+
+// Hadamard multiplies m element-wise by o (m ⊙= o).
+func (m *Mat) Hadamard(o *Mat) {
+	m.mustSameShape(o)
+	for i, v := range o.V {
+		m.V[i] *= v
+	}
+}
+
+// MatMul returns a new matrix holding m×o.
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.R, a.C, b.R, b.C))
+	}
+	out := New(a.R, b.C)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst = a×b, reusing dst's storage. dst must not alias
+// a or b.
+func MatMulInto(dst, a, b *Mat) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic("tensor: matmul-into shape mismatch")
+	}
+	dst.Zero()
+	parallelRows(a.R, a.R*a.C*b.C, func(i int) {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.C; k++ {
+			av := arow[k]
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	})
+}
+
+// MatMulATInto computes dst = aᵀ×b.
+func MatMulATInto(dst, a, b *Mat) {
+	if a.R != b.R || dst.R != a.C || dst.C != b.C {
+		panic("tensor: matmul-aT shape mismatch")
+	}
+	dst.Zero()
+	for k := 0; k < a.R; k++ {
+		arow := a.Row(k)
+		brow := b.Row(k)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulBTInto computes dst = a×bᵀ.
+func MatMulBTInto(dst, a, b *Mat) {
+	if a.C != b.C || dst.R != a.R || dst.C != b.R {
+		panic("tensor: matmul-bT shape mismatch")
+	}
+	parallelRows(a.R, a.R*a.C*b.R, func(i int) {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.R; j++ {
+			brow := b.Row(j)
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	})
+}
+
+// Transpose returns a new matrix holding mᵀ.
+func (m *Mat) Transpose() *Mat {
+	out := New(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Sum returns the sum of all elements.
+func (m *Mat) Sum() float64 {
+	var s float64
+	for _, v := range m.V {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty matrices).
+func (m *Mat) Mean() float64 {
+	if len(m.V) == 0 {
+		return 0
+	}
+	return m.Sum() / float64(len(m.V))
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty matrices).
+func (m *Mat) MaxAbs() float64 {
+	var s float64
+	for _, v := range m.V {
+		if a := math.Abs(v); a > s {
+			s = a
+		}
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of all elements.
+func (m *Mat) Norm2() float64 {
+	var s float64
+	for _, v := range m.V {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: dot length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// L2 returns the Euclidean distance between two equal-length vectors.
+func L2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("tensor: l2 length mismatch")
+	}
+	var s float64
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// AXPY performs dst += s*src on raw slices.
+func AXPY(s float64, src, dst []float64) {
+	if len(src) != len(dst) {
+		panic("tensor: axpy length mismatch")
+	}
+	for i, v := range src {
+		dst[i] += s * v
+	}
+}
+
+// Mean returns the mean of a slice (0 when empty).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Variance returns the population variance of a slice (0 when len < 1).
+func Variance(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(v))
+}
+
+// Centroid returns the element-wise mean of a set of equal-length vectors.
+func Centroid(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		for i, x := range v {
+			out[i] += x
+		}
+	}
+	inv := 1 / float64(len(vs))
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package odin
+
+import (
+	"strings"
+	"testing"
+)
+
+// fastOptions keeps the public-API tests quick.
+func fastOptions() Options {
+	return Options{Seed: 3, BootstrapFrames: 80, BootstrapEpochs: 1, BaselineEpochs: 2}
+}
+
+func TestNewValidatesPolicy(t *testing.T) {
+	if _, err := New(Options{Policy: "turbo"}); err == nil {
+		t.Fatal("unknown policy should error")
+	}
+	for _, p := range []string{"", "delta-bm", "knn-u", "knn-w", "most-recent"} {
+		if _, err := New(Options{Policy: p}); err != nil {
+			t.Fatalf("policy %q should be accepted: %v", p, err)
+		}
+	}
+}
+
+func TestGenerateFrames(t *testing.T) {
+	sys, err := New(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := sys.GenerateFrames(DayData, 5)
+	if len(frames) != 5 {
+		t.Fatalf("got %d frames", len(frames))
+	}
+	for _, f := range frames {
+		if f.Image == nil || len(f.Boxes) == 0 {
+			t.Fatal("frame missing image or boxes")
+		}
+	}
+}
+
+func TestBootstrapProcessQuery(t *testing.T) {
+	sys, err := New(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bootstrap(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bootstrap(nil); err == nil {
+		t.Fatal("double bootstrap should error")
+	}
+
+	frames := sys.GenerateFrames(DayData, 10)
+	for _, f := range frames {
+		r := sys.Process(f)
+		if len(r.ModelsUsed) == 0 {
+			t.Fatal("no model served the frame")
+		}
+	}
+	if sys.Stats().Frames != 10 {
+		t.Fatalf("frames %d", sys.Stats().Frames)
+	}
+	if sys.MemoryMB() <= 0 {
+		t.Fatal("memory should be positive")
+	}
+
+	out, err := sys.Query("SELECT COUNT(detections) FROM stream USING MODEL yolo WHERE class='car'", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.FramesScanned != 10 {
+		t.Fatalf("scanned %d", out.FramesScanned)
+	}
+
+	if _, err := sys.Query("SELECT bogus FROM", frames); err == nil {
+		t.Fatal("bad SQL should error")
+	}
+}
+
+func TestStaticMode(t *testing.T) {
+	off := false
+	opts := fastOptions()
+	opts.DriftRecovery = &off
+	sys, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bootstrap(nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range sys.GenerateFrames(NightData, 5) {
+		r := sys.Process(f)
+		if strings.Join(r.ModelsUsed, ",") != "YOLO" {
+			t.Fatalf("static mode used %v", r.ModelsUsed)
+		}
+	}
+	if sys.NumClusters() != 0 || sys.NumModels() != 0 {
+		t.Fatal("static mode must not build clusters or models")
+	}
+}
+
+func TestMustBootstrapPanics(t *testing.T) {
+	sys, err := New(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Process before Bootstrap should panic")
+		}
+	}()
+	sys.Process(sys.GenerateFrames(DayData, 1)[0])
+}
+
+func TestRegisterCustomModel(t *testing.T) {
+	sys, err := New(fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bootstrap(nil); err != nil {
+		t.Fatal(err)
+	}
+	sys.RegisterModel("oracle", func(f *Frame) []Detection {
+		out := make([]Detection, len(f.Boxes))
+		for i, b := range f.Boxes {
+			out[i] = Detection{Box: b, Score: 1}
+		}
+		return out
+	})
+	frames := sys.GenerateFrames(DayData, 5)
+	out, err := sys.Query("SELECT COUNT(detections) FROM s USING MODEL oracle WHERE class='car'", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, f := range frames {
+		for _, b := range f.Boxes {
+			if b.Class == ClassCar {
+				want++
+			}
+		}
+	}
+	if out.Count != want {
+		t.Fatalf("oracle count %d, want %d", out.Count, want)
+	}
+}
