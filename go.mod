@@ -1,0 +1,3 @@
+module odin
+
+go 1.24

@@ -29,6 +29,14 @@ type Detector interface {
 	Detect(img *synth.Image) []Detection
 }
 
+// BatchDetector is implemented by detectors that can amortise network
+// overhead across many frames at once; evaluation and distillation prefer
+// it when available.
+type BatchDetector interface {
+	Detector
+	DetectBatch(imgs []*synth.Image) [][]Detection
+}
+
 // Kind labels the three model families of §5.2.
 type Kind int
 
@@ -170,15 +178,18 @@ func (g *GridDetector) cellIndex(ch, gy, gx int) int {
 // Detect runs the network on one frame and decodes detections.
 func (g *GridDetector) Detect(img *synth.Image) []Detection {
 	out := g.Net.Predict(tensor.FromVec(img.Flat()))
-	return g.decode(out.Row(0))
+	dets := g.decode(out.Row(0))
+	nn.Recycle(out)
+	return dets
 }
 
-// DetectBatch runs the network on many frames at once.
+// DetectBatch runs the network on many frames at once, drawing the batch
+// from the workspace pool and handing it back once decoded.
 func (g *GridDetector) DetectBatch(imgs []*synth.Image) [][]Detection {
 	if len(imgs) == 0 {
 		return nil
 	}
-	batch := tensor.New(len(imgs), imgs[0].Dim())
+	batch := nn.GetMatRaw(len(imgs), imgs[0].Dim())
 	for i, im := range imgs {
 		copy(batch.Row(i), im.Flat())
 	}
@@ -187,6 +198,7 @@ func (g *GridDetector) DetectBatch(imgs []*synth.Image) [][]Detection {
 	for i := range imgs {
 		res[i] = g.decode(out.Row(i))
 	}
+	nn.Recycle(batch, out)
 	return res
 }
 

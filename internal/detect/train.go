@@ -3,7 +3,6 @@ package detect
 import (
 	"odin/internal/nn"
 	"odin/internal/synth"
-	"odin/internal/tensor"
 )
 
 // Sample pairs a frame image with its training boxes (ground truth for
@@ -26,12 +25,17 @@ func SamplesFromFrames(frames []*synth.Frame) []Sample {
 // DistillSamples labels frames with a teacher's detections instead of
 // ground truth — the student-teacher path used to train YOLO-Lite without
 // oracle labels (§5.2). Only confident teacher detections become labels.
+// Batch-capable teachers label whole frame batches per network pass.
 func DistillSamples(teacher Detector, frames []*synth.Frame, minScore float64) []Sample {
+	imgs := make([]*synth.Image, len(frames))
+	for i, f := range frames {
+		imgs[i] = f.Image
+	}
+	dets := detectAll(teacher, imgs)
 	out := make([]Sample, len(frames))
 	for i, f := range frames {
-		dets := teacher.Detect(f.Image)
 		var boxes []synth.Box
-		for _, d := range dets {
+		for _, d := range dets[i] {
 			if d.Score >= minScore {
 				boxes = append(boxes, d.Box)
 			}
@@ -56,12 +60,12 @@ func (g *GridDetector) TrainEpoch(samples []Sample, batch int) float64 {
 			end = len(perm)
 		}
 		idx := perm[start:end]
-		x := tensor.New(len(idx), samples[0].Image.Dim())
+		x := nn.GetMatRaw(len(idx), samples[0].Image.Dim())
 		for i, id := range idx {
 			copy(x.Row(i), samples[id].Image.Flat())
 		}
 		out := g.Net.Forward(x, true)
-		grad := tensor.New(out.R, out.C)
+		grad := nn.GetMatRaw(out.R, out.C)
 		for i, id := range idx {
 			target, objMask := g.buildTargets(samples[id].Boxes)
 			loss, gr := g.lossGrad(out.Row(i), target, objMask)
@@ -72,9 +76,10 @@ func (g *GridDetector) TrainEpoch(samples []Sample, batch int) float64 {
 		// Mean gradient over the batch.
 		grad.Scale(1 / float64(len(idx)))
 		g.Net.ZeroGrad()
-		g.Net.Backward(grad)
+		dx := g.Net.Backward(grad)
 		nn.ClipGrads(g.Net.Params(), 10)
 		g.opt.Step(g.Net.Params())
+		nn.Recycle(x, out, grad, dx)
 	}
 	if count == 0 {
 		return 0

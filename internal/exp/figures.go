@@ -119,10 +119,7 @@ func RunFig4(c *Context, w io.Writer) Fig4Result {
 	dg.Fit(rows, c.P.T1GenEpochs, 32)
 
 	cluster := digitRows(44, []int{0}, c.P.T1TestInliers)
-	var latents [][]float64
-	for _, x := range cluster {
-		latents = append(latents, dg.Project(x))
-	}
+	latents := dg.ProjectBatch(cluster)
 	centroid := centroidOf(latents)
 	var raw []float64
 	var mean float64

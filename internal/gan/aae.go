@@ -65,33 +65,36 @@ func (a *AAE) TrainEpoch(data [][]float64, batch int) float64 {
 		a.Enc.ZeroGrad()
 		a.Dec.ZeroGrad()
 		gz := a.Dec.Backward(grad)
-		a.Enc.Backward(gz)
+		dIn := a.Enc.Backward(gz)
 		a.optAE.Step(append(a.Enc.Params(), a.Dec.Params()...))
+		nn.Recycle(z, xr, grad, gz, dIn)
 
 		// 2. Latent discriminator: N(0,1) real vs encoded fake (Eq. 3).
-		zReal := tensor.New(x.R, a.Cfg.Latent)
+		zReal := nn.GetMatRaw(x.R, a.Cfg.Latent)
 		a.rng.FillNormal(zReal, 1)
 		zFake := a.Enc.Predict(x)
 		a.DZ.ZeroGrad()
 		pReal := a.DZ.Forward(zReal, true)
 		_, gReal := nn.BCEScalarTarget(pReal, 1)
-		a.DZ.Backward(gReal)
+		dReal := a.DZ.Backward(gReal)
 		pFake := a.DZ.Forward(zFake, true)
 		_, gFake := nn.BCEScalarTarget(pFake, 0)
-		a.DZ.Backward(gFake)
+		dFake := a.DZ.Backward(gFake)
 		nn.ClipGrads(a.DZ.Params(), 5)
 		a.optDZ.Step(a.DZ.Params())
+		nn.Recycle(zReal, zFake, pReal, gReal, dReal, pFake, gFake, dFake)
 
 		// 3. Encoder regularisation: fool DZ.
-		z = a.Enc.Forward(x, true)
-		p := a.DZ.Forward(z, true)
+		z3 := a.Enc.Forward(x, true)
+		p := a.DZ.Forward(z3, true)
 		_, g := nn.BCEScalarTarget(p, 1)
 		a.Enc.ZeroGrad()
 		a.DZ.ZeroGrad()
-		gz = a.DZ.Backward(g)
-		a.Enc.Backward(gz)
+		gz3 := a.DZ.Backward(g)
+		dIn3 := a.Enc.Backward(gz3)
 		nn.ClipGrads(a.Enc.Params(), 5)
 		a.optE.Step(a.Enc.Params())
+		nn.Recycle(x, z3, p, g, gz3, dIn3)
 	}
 	return total / float64(len(batches))
 }
@@ -106,6 +109,11 @@ func (a *AAE) Project(x []float64) []float64 {
 
 // LatentDim returns the latent dimensionality.
 func (a *AAE) LatentDim() int { return a.Cfg.Latent }
+
+// ProjectBatch encodes many images in one forward pass.
+func (a *AAE) ProjectBatch(rows [][]float64) [][]float64 {
+	return projectBatch(a.Enc, rows)
+}
 
 // Reconstruct encodes then decodes one image.
 func (a *AAE) Reconstruct(x []float64) []float64 {

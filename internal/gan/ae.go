@@ -57,8 +57,11 @@ func (a *Autoencoder) TrainEpoch(data [][]float64, batch int) float64 {
 		a.Enc.ZeroGrad()
 		a.Dec.ZeroGrad()
 		gz := a.Dec.Backward(grad)
-		a.Enc.Backward(gz)
+		dIn := a.Enc.Backward(gz)
 		a.opt.Step(append(a.Enc.Params(), a.Dec.Params()...))
+		// Everything this step produced is dead now; hand it back so the
+		// next minibatch allocates nothing.
+		nn.Recycle(x, z, xr, grad, gz, dIn)
 	}
 	return total / float64(len(batches))
 }
@@ -73,6 +76,11 @@ func (a *Autoencoder) Project(x []float64) []float64 {
 
 // LatentDim returns the latent dimensionality.
 func (a *Autoencoder) LatentDim() int { return a.Cfg.Latent }
+
+// ProjectBatch encodes many images in one forward pass.
+func (a *Autoencoder) ProjectBatch(rows [][]float64) [][]float64 {
+	return projectBatch(a.Enc, rows)
+}
 
 // Reconstruct encodes then decodes one image.
 func (a *Autoencoder) Reconstruct(x []float64) []float64 {

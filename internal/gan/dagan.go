@@ -80,7 +80,9 @@ func (d *DAGAN) TrainEpoch(data [][]float64, batch int) LossReport {
 	var sum LossReport
 	batches := miniBatches(len(data), batch, d.rng)
 	for _, idx := range batches {
-		r := d.TrainIteration(gather(data, idx))
+		x := gather(data, idx)
+		r := d.TrainIteration(x)
+		nn.Recycle(x)
 		sum.ImageDisc += r.ImageDisc
 		sum.LatentDisc += r.LatentDisc
 		sum.Recon += r.Recon
@@ -102,7 +104,7 @@ func (d *DAGAN) TrainIteration(x *tensor.Mat) LossReport {
 	n := x.R
 
 	// Lines 3–4: minibatches.
-	zPrime := tensor.New(n, d.Cfg.Latent)
+	zPrime := nn.GetMatRaw(n, d.Cfg.Latent)
 	d.rng.FillNormal(zPrime, 1)
 	xPrime := d.Dec.Predict(zPrime)
 
@@ -110,13 +112,14 @@ func (d *DAGAN) TrainIteration(x *tensor.Mat) LossReport {
 	d.DI.ZeroGrad()
 	pReal := d.DI.Forward(x, true)
 	lReal, gReal := nn.BCEScalarTarget(pReal, 1)
-	d.DI.Backward(gReal)
+	dReal := d.DI.Backward(gReal)
 	pFake := d.DI.Forward(xPrime, true)
 	lFake, gFake := nn.BCEScalarTarget(pFake, 0)
-	d.DI.Backward(gFake)
+	dFake := d.DI.Backward(gFake)
 	nn.ClipGrads(d.DI.Params(), 5)
 	d.optDI.Step(d.DI.Params())
 	rep.ImageDisc = lReal + lFake
+	nn.Recycle(pReal, gReal, dReal, pFake, gFake, dFake)
 
 	// Line 8: decoder fools DI.
 	xg := d.Dec.Forward(zPrime, true)
@@ -125,22 +128,24 @@ func (d *DAGAN) TrainIteration(x *tensor.Mat) LossReport {
 	d.Dec.ZeroGrad()
 	d.DI.ZeroGrad()
 	gx := d.DI.Backward(g)
-	d.Dec.Backward(gx)
+	dz := d.Dec.Backward(gx)
 	nn.ClipGrads(d.Dec.Params(), 5)
 	d.optG.Step(d.Dec.Params())
+	nn.Recycle(xPrime, xg, p, g, gx, dz)
 
 	// Lines 9–11: latent discriminator update.
 	z := d.Enc.Predict(x)
 	d.DZ.ZeroGrad()
 	pzReal := d.DZ.Forward(zPrime, true)
 	lzReal, gzReal := nn.BCEScalarTarget(pzReal, 1)
-	d.DZ.Backward(gzReal)
+	dzReal := d.DZ.Backward(gzReal)
 	pzFake := d.DZ.Forward(z, true)
 	lzFake, gzFake := nn.BCEScalarTarget(pzFake, 0)
-	d.DZ.Backward(gzFake)
+	dzFake := d.DZ.Backward(gzFake)
 	nn.ClipGrads(d.DZ.Params(), 5)
 	d.optDZ.Step(d.DZ.Params())
 	rep.LatentDisc = lzReal + lzFake
+	nn.Recycle(zPrime, z, pzReal, gzReal, dzReal, pzFake, gzFake, dzFake)
 
 	// Line 12: encoder fools DZ.
 	ze := d.Enc.Forward(x, true)
@@ -149,9 +154,10 @@ func (d *DAGAN) TrainIteration(x *tensor.Mat) LossReport {
 	d.Enc.ZeroGrad()
 	d.DZ.ZeroGrad()
 	gzi := d.DZ.Backward(gz)
-	d.Enc.Backward(gzi)
+	dxe := d.Enc.Backward(gzi)
 	nn.ClipGrads(d.Enc.Params(), 5)
 	d.optE.Step(d.Enc.Params())
+	nn.Recycle(ze, pz, gz, gzi, dxe)
 
 	// Line 13: reconstruction update of both E and G, weighted by λR.
 	z2 := d.Enc.Forward(x, true)
@@ -162,10 +168,11 @@ func (d *DAGAN) TrainIteration(x *tensor.Mat) LossReport {
 	d.Enc.ZeroGrad()
 	d.Dec.ZeroGrad()
 	gz2 := d.Dec.Backward(gRec)
-	d.Enc.Backward(gz2)
+	dxr := d.Enc.Backward(gz2)
 	params := append(d.Enc.Params(), d.Dec.Params()...)
 	nn.ClipGrads(params, 5)
 	d.optAE.Step(params)
+	nn.Recycle(z2, xr, gRec, gz2, dxr)
 
 	return rep
 }
@@ -182,16 +189,9 @@ func (d *DAGAN) Project(x []float64) []float64 {
 // LatentDim returns the latent dimensionality.
 func (d *DAGAN) LatentDim() int { return d.Cfg.Latent }
 
-// ProjectBatch encodes many images at once.
+// ProjectBatch encodes many images in one forward pass.
 func (d *DAGAN) ProjectBatch(rows [][]float64) [][]float64 {
-	out := d.Enc.Predict(ToBatch(rows))
-	zs := make([][]float64, out.R)
-	for i := range zs {
-		z := make([]float64, out.C)
-		copy(z, out.Row(i))
-		zs[i] = z
-	}
-	return zs
+	return projectBatch(d.Enc, rows)
 }
 
 // Reconstruct encodes then decodes one image.

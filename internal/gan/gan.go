@@ -21,6 +21,55 @@ type Projector interface {
 	LatentDim() int
 }
 
+// BatchProjector is implemented by projectors that can encode many images
+// in one network pass; callers with whole datasets in hand (detector
+// calibration, cluster embedding) prefer it when available.
+type BatchProjector interface {
+	Projector
+	ProjectBatch(rows [][]float64) [][]float64
+}
+
+// ProjectAll encodes every row, in one pass when proj supports batching.
+func ProjectAll(proj Projector, rows [][]float64) [][]float64 {
+	if bp, ok := proj.(BatchProjector); ok {
+		return bp.ProjectBatch(rows)
+	}
+	out := make([][]float64, len(rows))
+	for i, x := range rows {
+		out[i] = proj.Project(x)
+	}
+	return out
+}
+
+// projBatch bounds the encoder batch so one-shot dataset projections do
+// not park dataset-sized buffers in the workspace pool (which never
+// shrinks) — the pooled working set stays at a few hundred rows.
+const projBatch = 256
+
+// projectBatch runs the shared encoder-batch path behind the ProjectBatch
+// methods: stack a chunk, one forward pass, unstack, recycle.
+func projectBatch(enc *nn.Network, rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	zs := make([][]float64, len(rows))
+	for start := 0; start < len(rows); start += projBatch {
+		end := start + projBatch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		x := ToBatch(rows[start:end])
+		out := enc.Predict(x)
+		for i := 0; i < out.R; i++ {
+			z := make([]float64, out.C)
+			copy(z, out.Row(i))
+			zs[start+i] = z
+		}
+		nn.Recycle(x, out)
+	}
+	return zs
+}
+
 // Config describes the shared architecture of the generative models.
 type Config struct {
 	InputDim int   // flattened image dimensionality
@@ -105,12 +154,13 @@ func buildDiscriminator(name string, dim int, rng *tensor.RNG) *nn.Network {
 	)
 }
 
-// ToBatch stacks flattened images into a batch matrix.
+// ToBatch stacks flattened images into a batch matrix drawn from the
+// shared nn workspace pool.
 func ToBatch(rows [][]float64) *tensor.Mat {
 	if len(rows) == 0 {
 		return tensor.New(0, 0)
 	}
-	m := tensor.New(len(rows), len(rows[0]))
+	m := nn.GetMatRaw(len(rows), len(rows[0]))
 	for i, r := range rows {
 		copy(m.Row(i), r)
 	}
@@ -131,8 +181,10 @@ func miniBatches(n, batch int, rng *tensor.RNG) [][]int {
 	return out
 }
 
+// gather stacks the indexed rows into a workspace batch; training loops
+// recycle it once the step is done.
 func gather(data [][]float64, idx []int) *tensor.Mat {
-	m := tensor.New(len(idx), len(data[0]))
+	m := nn.GetMatRaw(len(idx), len(data[0]))
 	for i, id := range idx {
 		copy(m.Row(i), data[id])
 	}

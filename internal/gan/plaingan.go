@@ -45,21 +45,22 @@ func (g *GAN) TrainEpoch(data [][]float64, batch int) float64 {
 		x := gather(data, idx)
 
 		// Discriminator: real x vs generated G(z').
-		zp := tensor.New(x.R, g.Cfg.Latent)
+		zp := nn.GetMatRaw(x.R, g.Cfg.Latent)
 		g.rng.FillNormal(zp, 1)
 		xFake := g.Gen.Predict(zp)
 		g.DI.ZeroGrad()
 		pReal := g.DI.Forward(x, true)
 		lr, gReal := nn.BCEScalarTarget(pReal, 1)
-		g.DI.Backward(gReal)
+		dReal := g.DI.Backward(gReal)
 		pFake := g.DI.Forward(xFake, true)
 		lf, gFake := nn.BCEScalarTarget(pFake, 0)
-		g.DI.Backward(gFake)
+		dFake := g.DI.Backward(gFake)
 		g.optD.Step(g.DI.Params())
 		total += lr + lf
+		nn.Recycle(zp, xFake, pReal, gReal, dReal, pFake, gFake, dFake)
 
 		// Generator: fool the discriminator.
-		zp2 := tensor.New(x.R, g.Cfg.Latent)
+		zp2 := nn.GetMatRaw(x.R, g.Cfg.Latent)
 		g.rng.FillNormal(zp2, 1)
 		xg := g.Gen.Forward(zp2, true)
 		p := g.DI.Forward(xg, true)
@@ -67,8 +68,9 @@ func (g *GAN) TrainEpoch(data [][]float64, batch int) float64 {
 		g.Gen.ZeroGrad()
 		g.DI.ZeroGrad()
 		gx := g.DI.Backward(gg)
-		g.Gen.Backward(gx)
+		dz := g.Gen.Backward(gx)
 		g.optG.Step(g.Gen.Params())
+		nn.Recycle(x, zp2, xg, p, gg, gx, dz)
 	}
 	return total / float64(len(batches))
 }

@@ -6,6 +6,42 @@ import (
 	"odin/internal/tensor"
 )
 
+// Element-wise transforms shared by the layer Forwards (dst and src
+// distinct) and the fused Dense+activation inference path (dst == src);
+// see Network.Forward.
+
+func reluInto(dst, src []float64) {
+	for i, x := range src {
+		if x < 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = x
+		}
+	}
+}
+
+func leakyReLUInto(dst, src []float64, alpha float64) {
+	for i, x := range src {
+		if x < 0 {
+			dst[i] = x * alpha
+		} else {
+			dst[i] = x
+		}
+	}
+}
+
+func sigmoidInto(dst, src []float64) {
+	for i, x := range src {
+		dst[i] = 1 / (1 + math.Exp(-x))
+	}
+}
+
+func tanhInto(dst, src []float64) {
+	for i, x := range src {
+		dst[i] = math.Tanh(x)
+	}
+}
+
 // ReLU is the rectified linear activation max(0, x).
 type ReLU struct {
 	lastIn *tensor.Mat
@@ -14,24 +50,28 @@ type ReLU struct {
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward applies max(0, x) element-wise.
+// Forward applies max(0, x) element-wise. The backward cache is only kept
+// for training passes — Backward after an inference Forward panics rather
+// than silently using stale data.
 func (r *ReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	r.lastIn = x
-	out := x.Clone()
-	for i, v := range out.V {
-		if v < 0 {
-			out.V[i] = 0
-		}
+	if train {
+		r.lastIn = x
+	} else {
+		r.lastIn = nil
 	}
+	out := ws.GetRaw(x.R, x.C)
+	reluInto(out.V, x.V)
 	return out
 }
 
 // Backward zeroes the gradient where the input was negative.
 func (r *ReLU) Backward(grad *tensor.Mat) *tensor.Mat {
-	out := grad.Clone()
+	out := ws.GetRaw(grad.R, grad.C)
 	for i, v := range r.lastIn.V {
 		if v < 0 {
 			out.V[i] = 0
+		} else {
+			out.V[i] = grad.V[i]
 		}
 	}
 	return out
@@ -51,22 +91,24 @@ func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
 // Forward applies the leaky rectifier element-wise.
 func (l *LeakyReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	l.lastIn = x
-	out := x.Clone()
-	for i, v := range out.V {
-		if v < 0 {
-			out.V[i] = v * l.Alpha
-		}
+	if train {
+		l.lastIn = x
+	} else {
+		l.lastIn = nil
 	}
+	out := ws.GetRaw(x.R, x.C)
+	leakyReLUInto(out.V, x.V, l.Alpha)
 	return out
 }
 
 // Backward scales the gradient by alpha where the input was negative.
 func (l *LeakyReLU) Backward(grad *tensor.Mat) *tensor.Mat {
-	out := grad.Clone()
+	out := ws.GetRaw(grad.R, grad.C)
 	for i, v := range l.lastIn.V {
 		if v < 0 {
-			out.V[i] *= l.Alpha
+			out.V[i] = grad.V[i] * l.Alpha
+		} else {
+			out.V[i] = grad.V[i]
 		}
 	}
 	return out
@@ -85,19 +127,21 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies the logistic function element-wise.
 func (s *Sigmoid) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	out := x.Clone()
-	for i, v := range out.V {
-		out.V[i] = 1 / (1 + math.Exp(-v))
+	out := ws.GetRaw(x.R, x.C)
+	sigmoidInto(out.V, x.V)
+	if train {
+		s.lastOut = out
+	} else {
+		s.lastOut = nil
 	}
-	s.lastOut = out
 	return out
 }
 
 // Backward multiplies the gradient by σ(x)(1−σ(x)).
 func (s *Sigmoid) Backward(grad *tensor.Mat) *tensor.Mat {
-	out := grad.Clone()
+	out := ws.GetRaw(grad.R, grad.C)
 	for i, y := range s.lastOut.V {
-		out.V[i] *= y * (1 - y)
+		out.V[i] = grad.V[i] * y * (1 - y)
 	}
 	return out
 }
@@ -115,19 +159,21 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh element-wise.
 func (t *Tanh) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	out := x.Clone()
-	for i, v := range out.V {
-		out.V[i] = math.Tanh(v)
+	out := ws.GetRaw(x.R, x.C)
+	tanhInto(out.V, x.V)
+	if train {
+		t.lastOut = out
+	} else {
+		t.lastOut = nil
 	}
-	t.lastOut = out
 	return out
 }
 
 // Backward multiplies the gradient by 1−tanh²(x).
 func (t *Tanh) Backward(grad *tensor.Mat) *tensor.Mat {
-	out := grad.Clone()
+	out := ws.GetRaw(grad.R, grad.C)
 	for i, y := range t.lastOut.V {
-		out.V[i] *= 1 - y*y
+		out.V[i] = grad.V[i] * (1 - y*y)
 	}
 	return out
 }
@@ -155,14 +201,16 @@ func (d *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 		d.mask = nil
 		return x
 	}
-	out := x.Clone()
-	d.mask = make([]float64, len(x.V))
+	out := ws.GetRaw(x.R, x.C)
+	if len(d.mask) != len(x.V) {
+		d.mask = make([]float64, len(x.V))
+	}
 	keep := 1 - d.P
 	inv := 1 / keep
-	for i := range out.V {
+	for i, v := range x.V {
 		if d.rng.Float64() < keep {
 			d.mask[i] = inv
-			out.V[i] *= inv
+			out.V[i] = v * inv
 		} else {
 			d.mask[i] = 0
 			out.V[i] = 0
@@ -176,9 +224,9 @@ func (d *Dropout) Backward(grad *tensor.Mat) *tensor.Mat {
 	if d.mask == nil {
 		return grad
 	}
-	out := grad.Clone()
-	for i := range out.V {
-		out.V[i] *= d.mask[i]
+	out := ws.GetRaw(grad.R, grad.C)
+	for i, m := range d.mask {
+		out.V[i] = grad.V[i] * m
 	}
 	return out
 }

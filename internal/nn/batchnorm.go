@@ -21,10 +21,15 @@ type BatchNorm struct {
 	RunMean []float64
 	RunVar  []float64
 
-	// Caches for backward.
+	// Caches for backward, plus per-call statistics scratch retained across
+	// steps so a training step allocates nothing.
 	lastXHat *tensor.Mat
 	lastStd  []float64
 	lastN    int
+	mean     []float64
+	variance []float64
+	sumG     []float64
+	sumGX    []float64
 }
 
 // NewBatchNorm builds a batch-normalisation layer over dim features.
@@ -37,6 +42,11 @@ func NewBatchNorm(dim int) *BatchNorm {
 		Beta:     newParam("bn.beta", 1, dim),
 		RunMean:  make([]float64, dim),
 		RunVar:   make([]float64, dim),
+		lastStd:  make([]float64, dim),
+		mean:     make([]float64, dim),
+		variance: make([]float64, dim),
+		sumG:     make([]float64, dim),
+		sumGX:    make([]float64, dim),
 	}
 	b.Gamma.W.Fill(1)
 	for i := range b.RunVar {
@@ -51,21 +61,32 @@ func (b *BatchNorm) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != b.Dim {
 		panic("nn: batchnorm width mismatch")
 	}
-	out := tensor.New(x.R, x.C)
+	out := ws.GetRaw(x.R, x.C)
 	if !train || x.R == 1 {
+		// Precompute the affine form y = scale*x + shift of the running-stat
+		// normalisation so the row loop is two flops per element.
+		scale := b.sumG[:b.Dim]
+		shift := b.sumGX[:b.Dim]
+		for j := 0; j < b.Dim; j++ {
+			s := b.Gamma.W.V[j] / math.Sqrt(b.RunVar[j]+b.Eps)
+			scale[j] = s
+			shift[j] = b.Beta.W.V[j] - s*b.RunMean[j]
+		}
 		for i := 0; i < x.R; i++ {
 			src, dst := x.Row(i), out.Row(i)
-			for j := range src {
-				xh := (src[j] - b.RunMean[j]) / math.Sqrt(b.RunVar[j]+b.Eps)
-				dst[j] = b.Gamma.W.V[j]*xh + b.Beta.W.V[j]
+			for j, v := range src {
+				dst[j] = scale[j]*v + shift[j]
 			}
 		}
 		b.lastXHat = nil
 		return out
 	}
 	n := float64(x.R)
-	mean := make([]float64, b.Dim)
-	variance := make([]float64, b.Dim)
+	mean, variance := b.mean, b.variance
+	for j := range mean {
+		mean[j] = 0
+		variance[j] = 0
+	}
 	for i := 0; i < x.R; i++ {
 		for j, v := range x.Row(i) {
 			mean[j] += v
@@ -82,12 +103,12 @@ func (b *BatchNorm) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	}
 	for j := range variance {
 		variance[j] /= n
-	}
-	b.lastStd = make([]float64, b.Dim)
-	for j := range variance {
 		b.lastStd[j] = math.Sqrt(variance[j] + b.Eps)
 	}
-	xhat := tensor.New(x.R, x.C)
+	if b.lastXHat == nil || b.lastXHat.R != x.R || b.lastXHat.C != x.C {
+		b.lastXHat = tensor.New(x.R, x.C)
+	}
+	xhat := b.lastXHat
 	for i := 0; i < x.R; i++ {
 		src, xh, dst := x.Row(i), xhat.Row(i), out.Row(i)
 		for j := range src {
@@ -96,7 +117,6 @@ func (b *BatchNorm) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 			dst[j] = b.Gamma.W.V[j]*h + b.Beta.W.V[j]
 		}
 	}
-	b.lastXHat = xhat
 	b.lastN = x.R
 	for j := range mean {
 		b.RunMean[j] = b.Momentum*b.RunMean[j] + (1-b.Momentum)*mean[j]
@@ -107,20 +127,27 @@ func (b *BatchNorm) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 
 // Backward implements the standard batch-norm gradient.
 func (b *BatchNorm) Backward(grad *tensor.Mat) *tensor.Mat {
+	dx := ws.GetRaw(grad.R, grad.C)
 	if b.lastXHat == nil {
 		// Inference-mode backward (running stats are constants).
-		dx := grad.Clone()
-		for i := 0; i < dx.R; i++ {
-			row := dx.Row(i)
-			for j := range row {
-				row[j] *= b.Gamma.W.V[j] / math.Sqrt(b.RunVar[j]+b.Eps)
+		scale := b.sumG[:b.Dim]
+		for j := 0; j < b.Dim; j++ {
+			scale[j] = b.Gamma.W.V[j] / math.Sqrt(b.RunVar[j]+b.Eps)
+		}
+		for i := 0; i < grad.R; i++ {
+			src, dst := grad.Row(i), dx.Row(i)
+			for j, g := range src {
+				dst[j] = g * scale[j]
 			}
 		}
 		return dx
 	}
 	n := float64(b.lastN)
-	sumG := make([]float64, b.Dim)
-	sumGX := make([]float64, b.Dim)
+	sumG, sumGX := b.sumG, b.sumGX
+	for j := range sumG {
+		sumG[j] = 0
+		sumGX[j] = 0
+	}
 	for i := 0; i < grad.R; i++ {
 		g, xh := grad.Row(i), b.lastXHat.Row(i)
 		for j := range g {
@@ -130,7 +157,6 @@ func (b *BatchNorm) Backward(grad *tensor.Mat) *tensor.Mat {
 			b.Gamma.Grad.V[j] += g[j] * xh[j]
 		}
 	}
-	dx := tensor.New(grad.R, grad.C)
 	for i := 0; i < grad.R; i++ {
 		g, xh, dst := grad.Row(i), b.lastXHat.Row(i), dx.Row(i)
 		for j := range g {

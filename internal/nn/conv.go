@@ -3,49 +3,15 @@ package nn
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"odin/internal/tensor"
 )
 
-// convWorkers bounds the per-layer batch parallelism.
-var convWorkers = runtime.GOMAXPROCS(0)
-
-// parallelFor runs fn(i) for i in [0, n) across up to convWorkers
-// goroutines. Small batches run inline to avoid scheduling overhead.
-func parallelFor(n int, fn func(i int)) {
-	workers := convWorkers
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 4 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, n)
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-}
-
 // Conv2D is a 2-D convolution over channel-major C×H×W rows, implemented
-// with im2col so the inner loop is a matrix multiply. Output rows are
-// flattened OutC×OutH×OutW.
+// with batch-level im2col: the whole batch is unrolled into one patch
+// matrix with a column per output pixel, so forward and backward are each
+// a single large matrix multiply instead of one small multiply per sample.
+// Output rows are flattened OutC×OutH×OutW.
 type Conv2D struct {
 	InC, InH, InW  int
 	OutC           int
@@ -55,8 +21,11 @@ type Conv2D struct {
 	Weight *Param // OutC × (K*K*InC)
 	Bias   *Param // 1 × OutC
 
-	lastCols []*tensor.Mat // im2col matrices per batch sample
-	lastN    int
+	// cols is the batched im2col workspace, (K*K*InC) × (R*OutH*OutW),
+	// retained across steps (it is also the backward cache) and reallocated
+	// only when the batch size changes.
+	cols  *tensor.Mat
+	lastN int
 }
 
 // NewConv2D builds a conv layer. Output spatial dims follow the standard
@@ -87,47 +56,36 @@ func (c *Conv2D) OutSize() int { return c.OutC * c.OutH * c.OutW }
 // InSize returns the flattened input width InC*InH*InW.
 func (c *Conv2D) InSize() int { return c.InC * c.InH * c.InW }
 
-// im2col unrolls one flattened sample into a (K*K*InC) × (OutH*OutW) patch
-// matrix.
-func (c *Conv2D) im2col(row []float64) *tensor.Mat {
-	cols := tensor.New(c.K*c.K*c.InC, c.OutH*c.OutW)
-	for ch := 0; ch < c.InC; ch++ {
-		chOff := ch * c.InH * c.InW
-		for ky := 0; ky < c.K; ky++ {
-			for kx := 0; kx < c.K; kx++ {
-				crow := cols.Row((ch*c.K+ky)*c.K + kx)
-				idx := 0
-				for oy := 0; oy < c.OutH; oy++ {
-					iy := oy*c.Stride + ky - c.Pad
-					for ox := 0; ox < c.OutW; ox++ {
-						ix := ox*c.Stride + kx - c.Pad
-						if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
-							crow[idx] = row[chOff+iy*c.InW+ix]
-						}
-						idx++
-					}
-				}
-			}
-		}
-	}
-	return cols
-}
+// patchRows returns the patch-matrix height K*K*InC.
+func (c *Conv2D) patchRows() int { return c.K * c.K * c.InC }
 
-// col2im scatters a patch-matrix gradient back into a flattened sample
-// gradient.
-func (c *Conv2D) col2im(cols *tensor.Mat, dst []float64) {
+// im2colInto unrolls one flattened sample into the column block
+// [off, off+OutH*OutW) of the batched patch matrix. Padded positions are
+// written as zeros because the workspace is reused across steps.
+func (c *Conv2D) im2colInto(row []float64, cols *tensor.Mat, off int) {
+	spatial := c.OutH * c.OutW
 	for ch := 0; ch < c.InC; ch++ {
 		chOff := ch * c.InH * c.InW
 		for ky := 0; ky < c.K; ky++ {
 			for kx := 0; kx < c.K; kx++ {
-				crow := cols.Row((ch*c.K+ky)*c.K + kx)
+				crow := cols.Row((ch*c.K+ky)*c.K + kx)[off : off+spatial]
 				idx := 0
 				for oy := 0; oy < c.OutH; oy++ {
 					iy := oy*c.Stride + ky - c.Pad
+					if iy < 0 || iy >= c.InH {
+						for ox := 0; ox < c.OutW; ox++ {
+							crow[idx] = 0
+							idx++
+						}
+						continue
+					}
+					base := chOff + iy*c.InW
 					for ox := 0; ox < c.OutW; ox++ {
 						ix := ox*c.Stride + kx - c.Pad
-						if iy >= 0 && iy < c.InH && ix >= 0 && ix < c.InW {
-							dst[chOff+iy*c.InW+ix] += crow[idx]
+						if ix >= 0 && ix < c.InW {
+							crow[idx] = row[base+ix]
+						} else {
+							crow[idx] = 0
 						}
 						idx++
 					}
@@ -137,72 +95,125 @@ func (c *Conv2D) col2im(cols *tensor.Mat, dst []float64) {
 	}
 }
 
-// Forward convolves each sample in the batch.
+// col2imInto scatters the column block [off, off+OutH*OutW) of a patch
+// gradient back into one flattened sample gradient.
+func (c *Conv2D) col2imInto(cols *tensor.Mat, off int, dst []float64) {
+	spatial := c.OutH * c.OutW
+	for ch := 0; ch < c.InC; ch++ {
+		chOff := ch * c.InH * c.InW
+		for ky := 0; ky < c.K; ky++ {
+			for kx := 0; kx < c.K; kx++ {
+				crow := cols.Row((ch*c.K+ky)*c.K + kx)[off : off+spatial]
+				idx := 0
+				for oy := 0; oy < c.OutH; oy++ {
+					iy := oy*c.Stride + ky - c.Pad
+					if iy < 0 || iy >= c.InH {
+						idx += c.OutW
+						continue
+					}
+					base := chOff + iy*c.InW
+					for ox := 0; ox < c.OutW; ox++ {
+						ix := ox*c.Stride + kx - c.Pad
+						if ix >= 0 && ix < c.InW {
+							dst[base+ix] += crow[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Forward convolves the batch: one im2col pass, one weight×patches multiply
+// and a bias-fused regroup into row-major output.
 func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != c.InSize() {
 		panic(fmt.Sprintf("nn: conv2d input width %d, want %d", x.C, c.InSize()))
 	}
-	c.lastN = x.R
-	c.lastCols = make([]*tensor.Mat, x.R)
-	out := tensor.New(x.R, c.OutSize())
+	r := x.R
 	spatial := c.OutH * c.OutW
-	parallelFor(x.R, func(n int) {
-		cols := c.im2col(x.Row(n))
-		c.lastCols[n] = cols
-		y := tensor.New(c.OutC, spatial)
-		tensor.MatMulInto(y, c.Weight.W, cols)
-		orow := out.Row(n)
-		for oc := 0; oc < c.OutC; oc++ {
-			b := c.Bias.W.V[oc]
-			yrow := y.Row(oc)
-			dst := orow[oc*spatial : (oc+1)*spatial]
-			for i, v := range yrow {
-				dst[i] = v + b
+	rows := c.patchRows()
+	c.lastN = r
+	if c.cols == nil || c.cols.R != rows || c.cols.C != r*spatial {
+		c.cols = tensor.New(rows, r*spatial)
+	}
+	cols := c.cols
+	tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
+		for n := n0; n < n1; n++ {
+			c.im2colInto(x.Row(n), cols, n*spatial)
+		}
+	})
+
+	// y holds the whole batch channel-major: y[oc][n*spatial+s].
+	y := ws.GetRaw(c.OutC, r*spatial)
+	tensor.MatMulInto(y, c.Weight.W, cols)
+
+	// Regroup into per-sample rows, adding the channel bias in the same pass.
+	out := ws.GetRaw(r, c.OutSize())
+	bias := c.Bias.W.V
+	tensor.Parallel(r, r*c.OutC*spatial, func(n0, n1 int) {
+		for n := n0; n < n1; n++ {
+			orow := out.Row(n)
+			for oc := 0; oc < c.OutC; oc++ {
+				src := y.Row(oc)[n*spatial : (n+1)*spatial]
+				dst := orow[oc*spatial : (oc+1)*spatial]
+				b := bias[oc]
+				for i, v := range src {
+					dst[i] = v + b
+				}
 			}
 		}
 	})
+	ws.Put(y)
 	return out
 }
 
-// Backward accumulates weight/bias gradients and returns the input gradient.
-// The batch dimension is processed in parallel with per-sample gradient
-// buffers merged at the end.
+// Backward accumulates weight/bias gradients and returns the input
+// gradient. The whole batch is regrouped into one channel-major gradient
+// matrix so the weight gradient is a single G×patchesᵀ multiply and the
+// patch gradient a single Wᵀ×G multiply.
 func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
+	r := grad.R
 	spatial := c.OutH * c.OutW
-	dx := tensor.New(grad.R, c.InSize())
-	dWs := make([]*tensor.Mat, grad.R)
-	dBs := make([][]float64, grad.R)
-	parallelFor(grad.R, func(n int) {
-		g := tensor.New(c.OutC, spatial)
-		grow := grad.Row(n)
-		for oc := 0; oc < c.OutC; oc++ {
-			copy(g.Row(oc), grow[oc*spatial:(oc+1)*spatial])
-		}
-		// Bias gradient: sum over spatial positions.
-		db := make([]float64, c.OutC)
-		for oc := 0; oc < c.OutC; oc++ {
-			var s float64
-			for _, v := range g.Row(oc) {
-				s += v
+	rows := c.patchRows()
+
+	// Regroup grad rows channel-major (the transpose of the forward scatter).
+	g := ws.GetRaw(c.OutC, r*spatial)
+	tensor.Parallel(r, r*c.OutC*spatial, func(n0, n1 int) {
+		for n := n0; n < n1; n++ {
+			grow := grad.Row(n)
+			for oc := 0; oc < c.OutC; oc++ {
+				copy(g.Row(oc)[n*spatial:(n+1)*spatial], grow[oc*spatial:(oc+1)*spatial])
 			}
-			db[oc] = s
 		}
-		dBs[n] = db
-		// Weight gradient: g × colsᵀ.
-		dW := tensor.New(c.Weight.W.R, c.Weight.W.C)
-		tensor.MatMulBTInto(dW, g, c.lastCols[n])
-		dWs[n] = dW
-		// Input gradient: Wᵀ × g, scattered by col2im.
-		dCols := tensor.New(c.K*c.K*c.InC, spatial)
-		tensor.MatMulATInto(dCols, c.Weight.W, g)
-		c.col2im(dCols, dx.Row(n))
 	})
-	for n := 0; n < grad.R; n++ {
-		c.Weight.Grad.Add(dWs[n])
-		for oc, v := range dBs[n] {
-			c.Bias.Grad.V[oc] += v
+
+	// Bias gradient: per-channel sum over every sample and position.
+	for oc := 0; oc < c.OutC; oc++ {
+		var s float64
+		for _, v := range g.Row(oc) {
+			s += v
 		}
+		c.Bias.Grad.V[oc] += s
 	}
+
+	// Weight gradient: G × patchesᵀ across the whole batch at once.
+	dW := ws.GetRaw(c.OutC, rows)
+	tensor.MatMulBTInto(dW, g, c.cols)
+	c.Weight.Grad.Add(dW)
+	ws.Put(dW)
+
+	// Input gradient: Wᵀ × G, scattered back per sample by col2im.
+	dCols := ws.GetRaw(rows, r*spatial)
+	tensor.MatMulATInto(dCols, c.Weight.W, g)
+	dx := ws.Get(r, c.InSize())
+	tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
+		for n := n0; n < n1; n++ {
+			c.col2imInto(dCols, n*spatial, dx.Row(n))
+		}
+	})
+	ws.Put(g, dCols)
 	return dx
 }
 
@@ -233,41 +244,45 @@ func (u *Upsample2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != u.InC*u.InH*u.InW {
 		panic("nn: upsample input width mismatch")
 	}
-	out := tensor.New(x.R, u.OutSize())
-	for n := 0; n < x.R; n++ {
-		src := x.Row(n)
-		dst := out.Row(n)
-		for ch := 0; ch < u.InC; ch++ {
-			sOff := ch * u.InH * u.InW
-			dOff := ch * u.OutH * u.OutW
-			for y := 0; y < u.OutH; y++ {
-				sy := y / u.Scale
-				for xx := 0; xx < u.OutW; xx++ {
-					dst[dOff+y*u.OutW+xx] = src[sOff+sy*u.InW+xx/u.Scale]
+	out := ws.GetRaw(x.R, u.OutSize())
+	tensor.Parallel(x.R, x.R*u.OutSize(), func(n0, n1 int) {
+		for n := n0; n < n1; n++ {
+			src := x.Row(n)
+			dst := out.Row(n)
+			for ch := 0; ch < u.InC; ch++ {
+				sOff := ch * u.InH * u.InW
+				dOff := ch * u.OutH * u.OutW
+				for y := 0; y < u.OutH; y++ {
+					sy := y / u.Scale
+					for xx := 0; xx < u.OutW; xx++ {
+						dst[dOff+y*u.OutW+xx] = src[sOff+sy*u.InW+xx/u.Scale]
+					}
 				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // Backward sums gradients over each Scale×Scale block.
 func (u *Upsample2D) Backward(grad *tensor.Mat) *tensor.Mat {
-	dx := tensor.New(grad.R, u.InC*u.InH*u.InW)
-	for n := 0; n < grad.R; n++ {
-		src := grad.Row(n)
-		dst := dx.Row(n)
-		for ch := 0; ch < u.InC; ch++ {
-			sOff := ch * u.OutH * u.OutW
-			dOff := ch * u.InH * u.InW
-			for y := 0; y < u.OutH; y++ {
-				sy := y / u.Scale
-				for xx := 0; xx < u.OutW; xx++ {
-					dst[dOff+sy*u.InW+xx/u.Scale] += src[sOff+y*u.OutW+xx]
+	dx := ws.Get(grad.R, u.InC*u.InH*u.InW)
+	tensor.Parallel(grad.R, grad.R*u.OutSize(), func(n0, n1 int) {
+		for n := n0; n < n1; n++ {
+			src := grad.Row(n)
+			dst := dx.Row(n)
+			for ch := 0; ch < u.InC; ch++ {
+				sOff := ch * u.OutH * u.OutW
+				dOff := ch * u.InH * u.InW
+				for y := 0; y < u.OutH; y++ {
+					sy := y / u.Scale
+					for xx := 0; xx < u.OutW; xx++ {
+						dst[dOff+sy*u.InW+xx/u.Scale] += src[sOff+y*u.OutW+xx]
+					}
 				}
 			}
 		}
-	}
+	})
 	return dx
 }
 

@@ -28,36 +28,52 @@ func NewDense(in, out int, rng *tensor.RNG) *Dense {
 	return d
 }
 
-// Forward computes xW + b for a batch x (rows are examples).
+// Forward computes xW + b for a batch x (rows are examples), with the bias
+// folded into the matmul epilogue. The backward cache is only kept for
+// training passes — Backward after an inference Forward panics rather than
+// silently using stale data.
 func (d *Dense) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != d.In {
 		panic("nn: dense input width mismatch")
 	}
-	d.lastIn = x
-	out := tensor.New(x.R, d.Out)
-	tensor.MatMulInto(out, x, d.Weight.W)
-	for i := 0; i < out.R; i++ {
-		row := out.Row(i)
-		for j, b := range d.Bias.W.V {
-			row[j] += b
-		}
+	if train {
+		d.lastIn = x
+	} else {
+		d.lastIn = nil
 	}
+	out := ws.GetRaw(x.R, d.Out)
+	tensor.MatMulBiasInto(out, x, d.Weight.W, d.Bias.W.V)
+	return out
+}
+
+// forwardFused is the inference-only path: xW + b with the following
+// activation applied in place while the output is cache-hot. No backward
+// caches are recorded.
+func (d *Dense) forwardFused(x *tensor.Mat, act func([]float64)) *tensor.Mat {
+	if x.C != d.In {
+		panic("nn: dense input width mismatch")
+	}
+	d.lastIn = nil
+	out := ws.GetRaw(x.R, d.Out)
+	tensor.MatMulBiasInto(out, x, d.Weight.W, d.Bias.W.V)
+	act(out.V)
 	return out
 }
 
 // Backward accumulates dW = xᵀg, db = Σ rows of g and returns dx = gWᵀ.
 func (d *Dense) Backward(grad *tensor.Mat) *tensor.Mat {
 	x := d.lastIn
-	dW := tensor.New(d.In, d.Out)
+	dW := ws.GetRaw(d.In, d.Out)
 	tensor.MatMulATInto(dW, x, grad)
 	d.Weight.Grad.Add(dW)
+	ws.Put(dW)
 	for i := 0; i < grad.R; i++ {
 		row := grad.Row(i)
 		for j, g := range row {
 			d.Bias.Grad.V[j] += g
 		}
 	}
-	dx := tensor.New(grad.R, d.In)
+	dx := ws.GetRaw(grad.R, d.In)
 	tensor.MatMulBTInto(dx, grad, d.Weight.W)
 	return dx
 }

@@ -32,6 +32,12 @@ func newParam(name string, r, c int) *Param {
 // produces a batch; Backward consumes the gradient of the loss with respect
 // to the layer output and returns the gradient with respect to the layer
 // input, accumulating parameter gradients along the way.
+//
+// Backward must follow a Forward with train=true: inference Forwards drop
+// their backward caches (so the workspace pool can reclaim intermediates),
+// and layers panic rather than differentiate stale state. BatchNorm is the
+// one exception — its inference-mode backward needs only running
+// statistics and stays valid.
 type Layer interface {
 	Forward(x *tensor.Mat, train bool) *tensor.Mat
 	Backward(grad *tensor.Mat) *tensor.Mat
@@ -43,6 +49,12 @@ type Layer interface {
 type Network struct {
 	Name   string
 	Layers []Layer
+
+	// fwdIn/fwdOuts record the most recent training forward pass so
+	// Backward can hand each intermediate back to the workspace pool the
+	// moment its consumers are done with it.
+	fwdIn   *tensor.Mat
+	fwdOuts []*tensor.Mat
 }
 
 // NewNetwork builds a sequential network from layers.
@@ -50,20 +62,101 @@ func NewNetwork(name string, layers ...Layer) *Network {
 	return &Network{Name: name, Layers: layers}
 }
 
-// Forward runs the batch through every layer in order.
-func (n *Network) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	for _, l := range n.Layers {
-		x = l.Forward(x, train)
+// inferenceEpilogue returns an in-place transform for activation layers
+// that can fuse onto a preceding Dense at inference time, where no backward
+// caches are needed; nil when the layer cannot fuse.
+func inferenceEpilogue(l Layer) func([]float64) {
+	switch a := l.(type) {
+	case *ReLU:
+		return func(v []float64) { reluInto(v, v) }
+	case *LeakyReLU:
+		alpha := a.Alpha
+		return func(v []float64) { leakyReLUInto(v, v, alpha) }
+	case *Sigmoid:
+		return func(v []float64) { sigmoidInto(v, v) }
+	case *Tanh:
+		return func(v []float64) { tanhInto(v, v) }
 	}
-	return x
+	return nil
+}
+
+// Forward runs the batch through every layer in order. A training pass
+// records each intermediate so Backward can recycle it; an inference pass
+// fuses Dense+activation pairs and recycles each intermediate as soon as
+// the next layer has consumed it, since no layer keeps caches when
+// train is false.
+func (n *Network) Forward(x *tensor.Mat, train bool) *tensor.Mat {
+	if train {
+		n.fwdIn = x
+		n.fwdOuts = n.fwdOuts[:0]
+		for _, l := range n.Layers {
+			x = l.Forward(x, true)
+			n.fwdOuts = append(n.fwdOuts, x)
+		}
+		return x
+	}
+	cur := x
+	for i := 0; i < len(n.Layers); {
+		var next *tensor.Mat
+		if d, ok := n.Layers[i].(*Dense); ok && i+1 < len(n.Layers) {
+			if act := inferenceEpilogue(n.Layers[i+1]); act != nil {
+				next = d.forwardFused(cur, act)
+				i += 2
+			}
+		}
+		if next == nil {
+			next = n.Layers[i].Forward(cur, false)
+			i++
+		}
+		if next != cur && cur != x {
+			ws.Put(cur)
+		}
+		cur = next
+	}
+	return cur
 }
 
 // Backward propagates grad through the layers in reverse order and returns
-// the gradient with respect to the network input.
+// the gradient with respect to the network input. Intermediates of the
+// recorded forward pass and gradients produced by inner layers are handed
+// back to the workspace pool once their last consumer has run; the incoming
+// grad and the returned gradient stay owned by the caller.
 func (n *Network) Backward(grad *tensor.Mat) *tensor.Mat {
-	for i := len(n.Layers) - 1; i >= 0; i-- {
-		grad = n.Layers[i].Backward(grad)
+	outs := n.fwdOuts
+	if len(outs) != len(n.Layers) {
+		outs = nil
 	}
+	var final *tensor.Mat
+	if outs != nil {
+		final = outs[len(outs)-1]
+	}
+	owned := false
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		next := n.Layers[i].Backward(grad)
+		if next != grad {
+			if owned {
+				ws.Put(grad)
+			}
+			owned = true
+		}
+		grad = next
+		if outs != nil && i < len(n.Layers)-1 {
+			// The output of layer i was consumed by layer i+1's backward and
+			// (for Sigmoid/Tanh) by layer i's own; both are done now. Skip
+			// passthrough aliases and anything the caller can still see.
+			out := outs[i]
+			in := n.fwdIn
+			if i > 0 {
+				in = outs[i-1]
+			}
+			if out != in && out != final {
+				ws.Put(out)
+			}
+			outs[i] = nil
+		}
+	}
+	n.fwdOuts = n.fwdOuts[:0]
+	n.fwdIn = nil
 	return grad
 }
 

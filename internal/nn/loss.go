@@ -15,7 +15,7 @@ func MSE(pred, target *tensor.Mat) (float64, *tensor.Mat) {
 		panic("nn: mse shape mismatch")
 	}
 	n := float64(len(pred.V))
-	grad := tensor.New(pred.R, pred.C)
+	grad := ws.GetRaw(pred.R, pred.C)
 	var loss float64
 	for i, p := range pred.V {
 		d := p - target.V[i]
@@ -34,7 +34,7 @@ func BCE(pred, target *tensor.Mat) (float64, *tensor.Mat) {
 		panic("nn: bce shape mismatch")
 	}
 	n := float64(len(pred.V))
-	grad := tensor.New(pred.R, pred.C)
+	grad := ws.GetRaw(pred.R, pred.C)
 	var loss float64
 	for i, p := range pred.V {
 		p = clamp(p, lossEps, 1-lossEps)
@@ -49,7 +49,7 @@ func BCE(pred, target *tensor.Mat) (float64, *tensor.Mat) {
 // the common case for GAN discriminator updates.
 func BCEScalarTarget(pred *tensor.Mat, target float64) (float64, *tensor.Mat) {
 	n := float64(len(pred.V))
-	grad := tensor.New(pred.R, pred.C)
+	grad := ws.GetRaw(pred.R, pred.C)
 	var loss float64
 	for i, p := range pred.V {
 		p = clamp(p, lossEps, 1-lossEps)
@@ -63,7 +63,7 @@ func BCEScalarTarget(pred *tensor.Mat, target float64) (float64, *tensor.Mat) {
 // logits against a constant target, returning the gradient w.r.t. logits.
 func BCEWithLogits(logits *tensor.Mat, target float64) (float64, *tensor.Mat) {
 	n := float64(len(logits.V))
-	grad := tensor.New(logits.R, logits.C)
+	grad := ws.GetRaw(logits.R, logits.C)
 	var loss float64
 	for i, z := range logits.V {
 		// loss = max(z,0) − z*t + log(1+exp(−|z|))
@@ -79,12 +79,13 @@ func SoftmaxCE(logits *tensor.Mat, labels []int) (float64, *tensor.Mat) {
 	if logits.R != len(labels) {
 		panic("nn: softmax-ce batch mismatch")
 	}
-	grad := tensor.New(logits.R, logits.C)
+	grad := ws.GetRaw(logits.R, logits.C)
+	probs := make([]float64, logits.C)
 	var loss float64
 	inv := 1 / float64(logits.R)
 	for i := 0; i < logits.R; i++ {
 		row := logits.Row(i)
-		probs := softmax(row)
+		softmaxInto(probs, row)
 		t := labels[i]
 		loss += -math.Log(clamp(probs[t], lossEps, 1))
 		grow := grad.Row(i)
@@ -100,13 +101,18 @@ func SoftmaxCE(logits *tensor.Mat, labels []int) (float64, *tensor.Mat) {
 func Softmax(row []float64) []float64 { return softmax(row) }
 
 func softmax(row []float64) []float64 {
+	out := make([]float64, len(row))
+	softmaxInto(out, row)
+	return out
+}
+
+func softmaxInto(out, row []float64) {
 	maxv := math.Inf(-1)
 	for _, v := range row {
 		if v > maxv {
 			maxv = v
 		}
 	}
-	out := make([]float64, len(row))
 	var sum float64
 	for i, v := range row {
 		e := math.Exp(v - maxv)
@@ -116,7 +122,6 @@ func softmax(row []float64) []float64 {
 	for i := range out {
 		out[i] /= sum
 	}
-	return out
 }
 
 func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }

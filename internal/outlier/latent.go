@@ -32,13 +32,11 @@ func NewLatentKNN(k int, train func(data [][]float64) gan.Projector) *LatentKNN 
 	return &LatentKNN{K: k, Train: train}
 }
 
-// Fit trains the projector and caches the training latents.
+// Fit trains the projector and caches the training latents, batching the
+// projection when the projector supports it.
 func (l *LatentKNN) Fit(train [][]float64) {
 	l.proj = l.Train(train)
-	l.latents = make([][]float64, len(train))
-	for i, x := range train {
-		l.latents[i] = l.proj.Project(x)
-	}
+	l.latents = gan.ProjectAll(l.proj, train)
 }
 
 // Score returns the mean latent distance to the k nearest training points.
@@ -117,10 +115,7 @@ func NewDAGANDetector(cfg gan.Config, epochs, batch, k int) *DAGANDetector {
 func (d *DAGANDetector) Fit(train [][]float64) {
 	d.dg = gan.NewDAGAN(d.Cfg)
 	d.dg.Fit(train, d.Epochs, d.Batch)
-	d.latents = make([][]float64, len(train))
-	for i, x := range train {
-		d.latents[i] = d.dg.Project(x)
-	}
+	d.latents = d.dg.ProjectBatch(train)
 	comps := make([][]float64, 3)
 	for _, x := range train {
 		c := d.components(x)

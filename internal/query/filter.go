@@ -70,8 +70,8 @@ func (f *FilterNet) Fit(frames []*synth.Frame, epochs, batch int) float64 {
 				end = len(perm)
 			}
 			idx := perm[start:end]
-			x := tensor.New(len(idx), frames[0].Image.Dim())
-			y := tensor.New(len(idx), 1)
+			x := nn.GetMatRaw(len(idx), frames[0].Image.Dim())
+			y := nn.GetMat(len(idx), 1)
 			for i, id := range idx {
 				copy(x.Row(i), frames[id].Image.Flat())
 				y.Set(i, 0, labels[id])
@@ -81,8 +81,9 @@ func (f *FilterNet) Fit(frames []*synth.Frame, epochs, batch int) float64 {
 			total += loss
 			nb++
 			f.Net.ZeroGrad()
-			f.Net.Backward(grad)
+			dx := f.Net.Backward(grad)
 			f.opt.Step(f.Net.Params())
+			nn.Recycle(x, y, out, grad, dx)
 		}
 		last = total / float64(nb)
 	}

@@ -1,0 +1,73 @@
+package tensor
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Kernel benchmarks at the shapes the NN stack actually produces: square
+// GEMMs for dense stacks, wide-and-short GEMMs for the batched im2col
+// convolution path (weights OutC×(K²·InC) against a patch matrix with one
+// column per output pixel of the whole batch).
+func benchShapes() []struct{ m, k, n int } {
+	return []struct{ m, k, n int }{
+		{128, 128, 128},
+		{256, 256, 256},
+		{16, 27, 16384},  // conv2d 3→16ch 32×32 batch-16 forward
+		{64, 3072, 256},  // dense CIFAR batch-64 forward
+	}
+}
+
+func randMat(r, c int, seed uint64) *Mat {
+	m := New(r, c)
+	NewRNG(seed).FillNormal(m, 1)
+	return m
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := randMat(s.m, s.k, 1)
+			bb := randMat(s.k, s.n, 2)
+			dst := New(s.m, s.n)
+			b.SetBytes(int64(8 * s.m * s.k * s.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulInto(dst, a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulAT(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := randMat(s.k, s.m, 1) // aᵀ is m×k
+			bb := randMat(s.k, s.n, 2)
+			dst := New(s.m, s.n)
+			b.SetBytes(int64(8 * s.m * s.k * s.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulATInto(dst, a, bb)
+			}
+		})
+	}
+}
+
+func BenchmarkMatMulBT(b *testing.B) {
+	for _, s := range benchShapes() {
+		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
+			a := randMat(s.m, s.k, 1)
+			bb := randMat(s.n, s.k, 2) // bᵀ is k×n
+			dst := New(s.m, s.n)
+			b.SetBytes(int64(8 * s.m * s.k * s.n))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				MatMulBTInto(dst, a, bb)
+			}
+		})
+	}
+}

@@ -1,0 +1,138 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the shared parallel substrate for every kernel in the
+// repository. Instead of spawning goroutines and filling a fresh channel on
+// every call (as the old tensor.parallelRows and nn.parallelFor both did),
+// a persistent pool of workers pulls chunk ranges off an atomic cursor, so
+// the steady-state cost of a parallel loop is one job allocation and a few
+// channel sends.
+
+// job is one Parallel invocation. Workers (and the submitting goroutine)
+// claim half-open ranges [start, end) by advancing the atomic cursor until
+// n is exhausted. The WaitGroup counts *chunks*, not queued copies: the
+// submitter's Wait returns as soon as every chunk has run, no matter
+// whether the queued copies were ever dequeued — so a submitter that ends
+// up doing all the work itself (e.g. nested Parallel while every worker
+// is busy) never blocks on the queue.
+type job struct {
+	fn    func(start, end int)
+	n     int
+	chunk int
+	next  atomic.Int64
+	wg    sync.WaitGroup
+}
+
+// run claims and executes chunks until the job is drained, marking one
+// WaitGroup unit per completed chunk. Stale copies dequeued after the
+// cursor is exhausted are no-ops.
+func (j *job) run() {
+	for {
+		start := int(j.next.Add(int64(j.chunk))) - j.chunk
+		if start >= j.n {
+			return
+		}
+		end := start + j.chunk
+		if end > j.n {
+			end = j.n
+		}
+		j.fn(start, end)
+		j.wg.Done()
+	}
+}
+
+var (
+	parMu      sync.Mutex
+	parTarget  atomic.Int64 // workers Parallel fans out to (incl. the caller)
+	parStarted int          // background worker goroutines launched so far
+	jobCh      chan *job
+)
+
+func init() {
+	parTarget.Store(int64(runtime.GOMAXPROCS(0)))
+}
+
+// Parallelism returns the number of workers Parallel fans out to, the
+// submitting goroutine included.
+func Parallelism() int { return int(parTarget.Load()) }
+
+// SetParallelism sets the worker count used by Parallel (the submitting
+// goroutine counts as one worker). n < 1 resets to GOMAXPROCS. Background
+// workers are started lazily and never torn down; raising the value above
+// GOMAXPROCS is mainly useful to exercise the concurrent paths in tests.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	parTarget.Store(int64(n))
+}
+
+// ensureWorkers launches background workers so at least want-1 helpers
+// exist alongside the caller.
+func ensureWorkers(want int) {
+	parMu.Lock()
+	defer parMu.Unlock()
+	if jobCh == nil {
+		jobCh = make(chan *job, 256)
+	}
+	for parStarted < want-1 {
+		parStarted++
+		go func() {
+			for j := range jobCh {
+				j.run()
+			}
+		}()
+	}
+}
+
+// parallelMinWork is the estimated scalar-op count below which fan-out
+// costs more than it saves and the loop runs inline.
+const parallelMinWork = 1 << 17
+
+// Parallel runs fn over chunked subranges of [0, n). When work — an
+// estimate of the total scalar operations — is large enough to amortise
+// hand-off, chunks are distributed across the persistent worker pool; the
+// caller participates, so the loop always makes progress even when every
+// background worker is busy. fn must be safe to run concurrently on
+// disjoint ranges.
+func Parallel(n, work int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	w := int(parTarget.Load())
+	if w > n {
+		w = n
+	}
+	if w <= 1 || work < parallelMinWork {
+		fn(0, n)
+		return
+	}
+	ensureWorkers(w)
+
+	j := &job{fn: fn, n: n}
+	// Oversubscribe chunks ×4 so a straggler worker cannot hold the whole
+	// loop hostage; the cursor hands out the slack dynamically.
+	j.chunk = (n + 4*w - 1) / (4 * w)
+	if j.chunk < 1 {
+		j.chunk = 1
+	}
+	chunks := (n + j.chunk - 1) / j.chunk
+	j.wg.Add(chunks)
+	for h := 0; h < w-1 && h < chunks-1; h++ {
+		// Non-blocking: if the queue is full, the caller simply runs the
+		// remainder itself — blocking here could deadlock with every
+		// worker submitting.
+		select {
+		case jobCh <- j:
+		default:
+			h = chunks // queue full; stop offering copies
+		}
+	}
+	j.run()
+	j.wg.Wait()
+}

@@ -7,43 +7,7 @@ package tensor
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 )
-
-// matmulWorkers bounds row-parallelism in the matmul kernels.
-var matmulWorkers = runtime.GOMAXPROCS(0)
-
-// parallelRows runs fn(i) for each row index, fanning out to goroutines
-// when the total work is large enough to amortise scheduling.
-func parallelRows(rows int, work int, fn func(i int)) {
-	if work < 200_000 || rows < 4 || matmulWorkers <= 1 {
-		for i := 0; i < rows; i++ {
-			fn(i)
-		}
-		return
-	}
-	workers := matmulWorkers
-	if workers > rows {
-		workers = rows
-	}
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	chunk := (rows + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		go func(start int) {
-			defer wg.Done()
-			end := start + chunk
-			if end > rows {
-				end = rows
-			}
-			for i := start; i < end; i++ {
-				fn(i)
-			}
-		}(w * chunk)
-	}
-	wg.Wait()
-}
 
 // Mat is a dense, row-major matrix with R rows and C columns. A Mat with
 // R==1 doubles as a vector. The zero value is an empty matrix.
@@ -162,67 +126,203 @@ func MatMul(a, b *Mat) *Mat {
 	return out
 }
 
+// mmKBlock is the k-panel depth of the cache-blocked kernels: the panel of
+// b rows touched per pass (mmKBlock × dst.C floats) stays L2-resident while
+// every dst row in the worker's range streams over it.
+const mmKBlock = 256
+
 // MatMulInto computes dst = a×b, reusing dst's storage. dst must not alias
 // a or b.
 func MatMulInto(dst, a, b *Mat) {
 	if a.C != b.R || dst.R != a.R || dst.C != b.C {
 		panic("tensor: matmul-into shape mismatch")
 	}
-	dst.Zero()
-	parallelRows(a.R, a.R*a.C*b.C, func(i int) {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for k := 0; k < a.C; k++ {
-			av := arow[k]
-			if av == 0 {
-				continue
+	matmulBias(dst, a, b, nil)
+}
+
+// MatMulBiasInto computes dst = a×b + bias, with the row-vector bias
+// broadcast over dst's rows and folded into the accumulation epilogue so
+// the result needs no second pass. dst must not alias a or b.
+func MatMulBiasInto(dst, a, b *Mat, bias []float64) {
+	if a.C != b.R || dst.R != a.R || dst.C != b.C {
+		panic("tensor: matmul-into shape mismatch")
+	}
+	if len(bias) != dst.C {
+		panic("tensor: matmul bias length mismatch")
+	}
+	matmulBias(dst, a, b, bias)
+}
+
+// matmulBias is the shared cache-blocked, 4-way k-unrolled kernel behind
+// MatMulInto and MatMulBiasInto. Each worker owns a contiguous block of dst
+// rows; the k dimension is tiled so the active panel of b stays in cache,
+// and four a-coefficients are applied per pass over a dst row to quarter
+// the dst load/store traffic of the naive saxpy loop.
+func matmulBias(dst, a, b *Mat, bias []float64) {
+	kk, n := a.C, b.C
+	Parallel(a.R, 2*a.R*kk*n, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			drow := dst.V[i*n : i*n+n]
+			if bias == nil {
+				for j := range drow {
+					drow[j] = 0
+				}
+			} else {
+				copy(drow, bias)
 			}
-			brow := b.Row(k)
-			for j := range drow {
-				drow[j] += av * brow[j]
+		}
+		for k0 := 0; k0 < kk; k0 += mmKBlock {
+			k1 := k0 + mmKBlock
+			if k1 > kk {
+				k1 = kk
+			}
+			for i := i0; i < i1; i++ {
+				arow := a.V[i*kk : i*kk+kk]
+				drow := dst.V[i*n : i*n+n]
+				k := k0
+				for ; k+3 < k1; k += 4 {
+					a0, a1, a2, a3 := arow[k], arow[k+1], arow[k+2], arow[k+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						// ReLU activations feed these kernels: whole-zero
+						// groups are common enough to be worth skipping.
+						continue
+					}
+					b0 := b.V[k*n : k*n+n]
+					b1 := b.V[(k+1)*n : (k+1)*n+n]
+					b2 := b.V[(k+2)*n : (k+2)*n+n]
+					b3 := b.V[(k+3)*n : (k+3)*n+n]
+					for j, d := range drow {
+						drow[j] = d + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; k < k1; k++ {
+					av := arow[k]
+					if av == 0 {
+						continue
+					}
+					brow := b.V[k*n : k*n+n]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
 			}
 		}
 	})
 }
 
-// MatMulATInto computes dst = aᵀ×b.
+// MatMulATInto computes dst = aᵀ×b. dst must not alias a or b.
 func MatMulATInto(dst, a, b *Mat) {
 	if a.R != b.R || dst.R != a.C || dst.C != b.C {
 		panic("tensor: matmul-aT shape mismatch")
 	}
-	dst.Zero()
-	for k := 0; k < a.R; k++ {
-		arow := a.Row(k)
-		brow := b.Row(k)
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			drow := dst.Row(i)
-			for j, bv := range brow {
-				drow[j] += av * bv
+	kk, m, n := a.R, a.C, b.C
+	Parallel(m, 2*m*kk*n, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			drow := dst.V[i*n : i*n+n]
+			for j := range drow {
+				drow[j] = 0
 			}
 		}
-	}
+		for k0 := 0; k0 < kk; k0 += mmKBlock {
+			k1 := k0 + mmKBlock
+			if k1 > kk {
+				k1 = kk
+			}
+			for i := i0; i < i1; i++ {
+				drow := dst.V[i*n : i*n+n]
+				k := k0
+				for ; k+3 < k1; k += 4 {
+					a0 := a.V[k*m+i]
+					a1 := a.V[(k+1)*m+i]
+					a2 := a.V[(k+2)*m+i]
+					a3 := a.V[(k+3)*m+i]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					b0 := b.V[k*n : k*n+n]
+					b1 := b.V[(k+1)*n : (k+1)*n+n]
+					b2 := b.V[(k+2)*n : (k+2)*n+n]
+					b3 := b.V[(k+3)*n : (k+3)*n+n]
+					for j, d := range drow {
+						drow[j] = d + a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+					}
+				}
+				for ; k < k1; k++ {
+					av := a.V[k*m+i]
+					if av == 0 {
+						continue
+					}
+					brow := b.V[k*n : k*n+n]
+					for j, bv := range brow {
+						drow[j] += av * bv
+					}
+				}
+			}
+		}
+	})
 }
 
-// MatMulBTInto computes dst = a×bᵀ.
+// MatMulBTInto computes dst = a×bᵀ. dst must not alias a or b.
 func MatMulBTInto(dst, a, b *Mat) {
 	if a.C != b.C || dst.R != a.R || dst.C != b.R {
 		panic("tensor: matmul-bT shape mismatch")
 	}
-	parallelRows(a.R, a.R*a.C*b.R, func(i int) {
-		arow := a.Row(i)
-		drow := dst.Row(i)
-		for j := 0; j < b.R; j++ {
-			brow := b.Row(j)
-			var s float64
-			for k, av := range arow {
-				s += av * brow[k]
+	kk, n := a.C, b.R
+	Parallel(a.R, 2*a.R*kk*n, func(i0, i1 int) {
+		i := i0
+		// 2×2 register tile: two a rows against two b rows share every
+		// operand load across two dot products, doubling the flops per load
+		// of the naive one-dot-at-a-time loop.
+		for ; i+1 < i1; i += 2 {
+			ar0 := a.V[i*kk : i*kk+kk]
+			ar1 := a.V[(i+1)*kk : (i+1)*kk+kk]
+			dr0 := dst.V[i*n : i*n+n]
+			dr1 := dst.V[(i+1)*n : (i+1)*n+n]
+			j := 0
+			for ; j+1 < n; j += 2 {
+				br0 := b.V[j*kk : j*kk+kk]
+				br1 := b.V[(j+1)*kk : (j+1)*kk+kk]
+				var s00, s01, s10, s11 float64
+				for k, a0 := range ar0 {
+					a1 := ar1[k]
+					b0 := br0[k]
+					b1 := br1[k]
+					s00 += a0 * b0
+					s01 += a0 * b1
+					s10 += a1 * b0
+					s11 += a1 * b1
+				}
+				dr0[j] = s00
+				dr0[j+1] = s01
+				dr1[j] = s10
+				dr1[j+1] = s11
 			}
-			drow[j] = s
+			if j < n {
+				brow := b.V[j*kk : j*kk+kk]
+				dr0[j] = dotSeq(ar0, brow)
+				dr1[j] = dotSeq(ar1, brow)
+			}
+		}
+		if i < i1 {
+			arow := a.V[i*kk : i*kk+kk]
+			drow := dst.V[i*n : i*n+n]
+			for j := 0; j < n; j++ {
+				drow[j] = dotSeq(arow, b.V[j*kk:j*kk+kk])
+			}
 		}
 	})
+}
+
+// dotSeq is a single-chain inner product. The edge rows and columns of the
+// 2×2 tile use it so every dst element is accumulated in the same k-order
+// no matter how the worker pool partitions the rows — results must be
+// bit-identical across parallelism levels.
+func dotSeq(a, b []float64) float64 {
+	var s float64
+	for k, av := range a {
+		s += av * b[k]
+	}
+	return s
 }
 
 // Transpose returns a new matrix holding mᵀ.
