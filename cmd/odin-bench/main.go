@@ -1,12 +1,17 @@
-// Command odin-bench regenerates the paper's tables and figures.
+// Command odin-bench regenerates the paper's tables and figures, plus the
+// streaming-throughput benchmark of the Server/Stream API.
 //
 // Usage:
 //
 //	odin-bench [-scale quick|full] [-exp all|fig1|fig2|fig4|fig5|table1|
-//	            table2|fig8|table3|table4|table5|fig9|table6|table7] [-v]
+//	            table2|fig8|table3|table4|table5|fig9|table6|table7|
+//	            stream] [-streamout BENCH_stream.json] [-v]
 //
 // Experiments share one context, so models trained for an earlier
-// experiment are reused by later ones.
+// experiment are reused by later ones. The "stream" experiment is special:
+// it drives the public odin.Server API on the Fig9 drift stream, compares
+// sequential Stream.Process against sharded Stream.Run at 1/4/8 workers,
+// and writes the frames/sec series to -streamout.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids or 'all'")
+	streamOut := flag.String("streamout", "BENCH_stream.json", "output path of the 'stream' experiment's JSON series")
 	verbose := flag.Bool("v", false, "log model-training progress")
 	flag.Parse()
 
@@ -53,6 +59,12 @@ func main() {
 		{"table6", func() { exp.RunTable6(ctx, os.Stdout) }},
 		{"table7", func() { exp.RunTable7(ctx, os.Stdout) }},
 		{"ablation", func() { exp.RunAblationBands(ctx, os.Stdout) }},
+		{"stream", func() {
+			if err := runStreamBench(scale, *streamOut, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}},
 	}
 
 	want := map[string]bool{}

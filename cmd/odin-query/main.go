@@ -1,6 +1,6 @@
 // Command odin-query executes an aggregation query against a generated
 // dash-cam stream, using either the static baseline or the drift-aware
-// ODIN pipeline.
+// ODIN pipeline (sharded across the server's worker budget).
 //
 // Example:
 //
@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,30 +36,42 @@ func main() {
 		"rain": odin.RainData, "snow": odin.SnowData,
 	}[*subset]
 
-	sys, err := odin.New(odin.Options{
-		Seed:            *seed,
-		BootstrapFrames: 300,
-		BootstrapEpochs: 4,
-		BaselineEpochs:  20,
-	})
+	srv, err := odin.New(
+		odin.WithSeed(*seed),
+		odin.WithBootstrapFrames(300),
+		odin.WithBootstrapEpochs(4),
+		odin.WithBaselineEpochs(20),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	fmt.Fprintln(os.Stderr, "bootstrapping...")
-	if err := sys.Bootstrap(nil); err != nil {
+	if err := srv.Bootstrap(ctx, nil); err != nil {
 		log.Fatal(err)
 	}
 	if *warm > 0 {
 		fmt.Fprintln(os.Stderr, "warming the pipeline (drift recovery)...")
-		for _, s := range []odin.Subset{odin.DayData, odin.NightData} {
-			for _, f := range sys.GenerateFrames(s, *warm) {
-				sys.Process(f)
-			}
+		stream, err := srv.OpenStream(ctx, odin.StreamOptions{Name: "warmup"})
+		if err != nil {
+			log.Fatal(err)
 		}
+		in := make(chan *odin.Frame, 64)
+		go func() {
+			defer close(in)
+			for _, s := range []odin.Subset{odin.DayData, odin.NightData} {
+				for _, f := range srv.GenerateFrames(s, *warm) {
+					in <- f
+				}
+			}
+		}()
+		for range stream.Run(ctx, in) {
+		}
+		stream.Close()
 	}
 
-	frames := sys.GenerateFrames(sub, *n)
-	res, err := sys.Query(sql, frames)
+	frames := srv.GenerateFrames(sub, *n)
+	res, err := srv.Query(ctx, sql, frames)
 	if err != nil {
 		log.Fatal(err)
 	}

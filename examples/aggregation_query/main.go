@@ -1,9 +1,10 @@
 // Aggregation queries: run the paper's §6.6 car-counting SQL over a
 // drifting frame stream, comparing the static baseline model against the
-// drift-aware ODIN pipeline.
+// drift-aware ODIN pipeline (sharded across the server's worker budget).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,31 +12,43 @@ import (
 )
 
 func main() {
-	sys, err := odin.New(odin.Options{
-		Seed:            7,
-		BootstrapFrames: 300,
-		BootstrapEpochs: 4,
-		BaselineEpochs:  15,
-	})
+	srv, err := odin.New(
+		odin.WithSeed(7),
+		odin.WithBootstrapFrames(300),
+		odin.WithBootstrapEpochs(4),
+		odin.WithBaselineEpochs(15),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 	fmt.Println("bootstrapping...")
-	if err := sys.Bootstrap(nil); err != nil {
+	if err := srv.Bootstrap(ctx, nil); err != nil {
 		log.Fatal(err)
 	}
 
 	// Warm the pipeline so drift recovery has produced specialists.
 	fmt.Println("warming the pipeline on a drifting stream...")
-	for _, sub := range []odin.Subset{odin.DayData, odin.NightData} {
-		for _, f := range sys.GenerateFrames(sub, 350) {
-			sys.Process(f)
-		}
+	warm, err := srv.OpenStream(ctx, odin.StreamOptions{Name: "warmup"})
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("clusters: %d, specialist models: %d\n\n", sys.NumClusters(), sys.NumModels())
+	in := make(chan *odin.Frame, 32)
+	go func() {
+		defer close(in)
+		for _, sub := range []odin.Subset{odin.DayData, odin.NightData} {
+			for _, f := range srv.GenerateFrames(sub, 350) {
+				in <- f
+			}
+		}
+	}()
+	for range warm.Run(ctx, in) {
+	}
+	warm.Close()
+	fmt.Printf("clusters: %d, specialist models: %d\n\n", srv.NumClusters(), srv.NumModels())
 
 	// The query target: a fresh mixed-condition stream.
-	frames := sys.GenerateFrames(odin.FullData, 120)
+	frames := srv.GenerateFrames(odin.FullData, 120)
 
 	// Ground truth for reference.
 	trueCars := 0
@@ -52,7 +65,7 @@ func main() {
 		sql := fmt.Sprintf(
 			"SELECT COUNT(detections) FROM stream USING MODEL %s WHERE class='car'", model)
 		fmt.Println(sql)
-		res, err := sys.Query(sql, frames)
+		res, err := srv.Query(ctx, sql, frames)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -61,7 +74,7 @@ func main() {
 
 	// Nested form with a custom filter: only process frames a cheap
 	// pre-screen says contain trucks.
-	sys.RegisterFilter("truck_filter", func(f *odin.Frame) bool {
+	srv.RegisterFilter("truck_filter", func(f *odin.Frame) bool {
 		// Toy filter for the example: pass frames whose ground truth has a
 		// truck (a trained FilterNet plays this role in the benchmarks).
 		for _, b := range f.Boxes {
@@ -74,7 +87,7 @@ func main() {
 	sql := `SELECT COUNT(detections)
 	        FROM (SELECT * FROM stream USING FILTER truck_filter)
 	        USING MODEL odin WHERE class='truck'`
-	res, err := sys.Query(sql, frames)
+	res, err := srv.Query(ctx, sql, frames)
 	if err != nil {
 		log.Fatal(err)
 	}

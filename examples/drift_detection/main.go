@@ -1,64 +1,97 @@
-// Drift detection in isolation: train a DA-GAN on one set of digit
-// classes, then watch the ∆-band DETECTOR separate inliers from a drifting
-// stream that introduces unseen classes — the paper's §4 pipeline on the
-// MNIST-like substrate.
+// Drift detection end to end on the public API: bootstrap a Server on one
+// environment (night dash-cam scenes — the "known world"), then feed a
+// channel of frames that drifts into unseen conditions through a sharded
+// Stream session. The ∆-band DETECTOR flags the new concepts as they
+// stabilise, the SPECIALIZER trains models for them, and every drift event
+// arrives on the result channel as Result.Drift — the paper's §4 pipeline
+// behind odin.Server / odin.Stream.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
-	"odin/internal/cluster"
-	"odin/internal/gan"
-	"odin/internal/synth"
+	"odin"
 )
 
 func main() {
-	// Train the DA-GAN on thin slanted digits (1, 7) only — the "known world".
-	known := []int{1, 7} // thin, slanted strokes — one visual concept
-	train := rows(synth.DigitDataset(1, known, 120))
-	cfg := gan.Config{InputDim: len(train[0]), Latent: 16, Hidden: []int{128, 48}, LR: 0.002, Seed: 5}
-	fmt.Println("training DA-GAN on digits 1 and 7...")
-	dg := gan.NewDAGAN(cfg)
-	dg.Fit(train, 12, 32)
+	ctx := context.Background()
 
-	// Stream known digits: a stable concept cluster should form.
-	ccfg := cluster.DefaultConfig()
-	ccfg.MinPoints = 50
-	ccfg.StabilitySteps = 15
-	set := cluster.NewSet(ccfg)
+	srv, err := odin.New(
+		odin.WithSeed(5),
+		odin.WithBootstrapFrames(300),
+		odin.WithBootstrapEpochs(4),
+		odin.WithBaselineEpochs(12),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	fmt.Println("streaming known digits...")
-	for _, li := range synth.DigitDataset(2, known, 150) {
-		a := set.Observe(dg.Project(li.Image.Flat()))
-		if a.Drift != nil {
-			fmt.Printf("  cluster %s formed after %d points (band %v)\n",
-				a.Drift.Cluster.Label, set.Seen(), a.Drift.Cluster.Band())
+	// Train the DA-GAN projection and the baseline on night scenes only,
+	// so day and snow are genuinely out of distribution.
+	fmt.Println("bootstrapping on night scenes (the known world)...")
+	if err := srv.Bootstrap(ctx, srv.GenerateFrames(odin.NightData, 300)); err != nil {
+		log.Fatal(err)
+	}
+
+	stream, err := srv.OpenStream(ctx, odin.StreamOptions{Name: "cam-0", Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The camera first sees more night (a stable concept cluster forms),
+	// then the scene drifts: dawn breaks. After the drift event the
+	// SPECIALIZER's day model is resident, so the final phase shows
+	// recovery — day frames now served by the specialized model instead of
+	// the heavyweight baseline.
+	phases := []struct {
+		name   string
+		subset odin.Subset
+		frames int
+	}{
+		{"night (stable)", odin.NightData, 150},
+		{"day (drift)", odin.DayData, 150},
+		{"day again (recovered)", odin.DayData, 100},
+	}
+	boundary := map[int]string{}
+	start := 0
+	for _, ph := range phases {
+		boundary[start] = ph.name
+		start += ph.frames
+	}
+
+	in := make(chan *odin.Frame)
+	go func() {
+		defer close(in)
+		for _, ph := range phases {
+			for _, f := range srv.GenerateFrames(ph.subset, ph.frames) {
+				in <- f
+			}
+		}
+	}()
+
+	lastPhase := start - phases[len(phases)-1].frames
+	served := map[string]int{}
+	for res := range stream.Run(ctx, in) {
+		if name, ok := boundary[res.Seq]; ok {
+			fmt.Printf("--- streaming %s ---\n", name)
+		}
+		if res.Drift != nil {
+			fmt.Printf("  DRIFT at frame %d: cluster %s promoted (%d seed frames) -> specializing\n",
+				res.Seq, res.Drift.Cluster.Label, res.Drift.NumSeeds)
+		}
+		if res.Seq >= lastPhase {
+			for _, m := range res.ModelsUsed {
+				served[m]++
+			}
 		}
 	}
+	fmt.Printf("  models serving the recovered phase: %v\n", served)
 
-	// Now drift: digit 8 appears. Its projections fall outside the known
-	// cluster's ∆-band, accumulate in the temporary cluster, stabilise,
-	// and get promoted — that promotion is the drift signal.
-	fmt.Println("streaming unseen digit 8 (drift)...")
-	for _, li := range synth.DigitDataset(3, []int{8}, 150) {
-		a := set.Observe(dg.Project(li.Image.Flat()))
-		if a.Drift != nil {
-			fmt.Printf("  DRIFT: new concept cluster %s at point %d\n",
-				a.Drift.Cluster.Label, set.Seen())
-		}
-	}
-
-	fmt.Printf("\npermanent clusters: %d, drift events: %d\n",
-		len(set.Permanent), len(set.Events()))
-	for _, c := range set.Permanent {
-		fmt.Printf("  %s: %d points, ∆-band %v\n", c.Label, c.Size(), c.Band())
-	}
-}
-
-func rows(ds []synth.LabeledImage) [][]float64 {
-	out := make([][]float64, len(ds))
-	for i, li := range ds {
-		out[i] = li.Image.Flat()
-	}
-	return out
+	stats := srv.Stats()
+	fmt.Printf("\nframes: %d, outliers: %d, drift events: %d\n",
+		stats.Frames, stats.Outliers, stats.DriftEvents)
+	fmt.Printf("permanent clusters: %d, specialized models resident: %d (%.1f MB simulated)\n",
+		srv.NumClusters(), srv.NumModels(), srv.MemoryMB())
 }

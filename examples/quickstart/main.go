@@ -1,8 +1,10 @@
-// Quickstart: bootstrap an ODIN system, stream drifting dash-cam frames
-// through it, and watch it detect drift and deploy specialized models.
+// Quickstart: boot an ODIN server, open a camera stream session, and
+// watch the pipeline detect drift and deploy specialized models as the
+// scene shifts from day to night.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -10,50 +12,59 @@ import (
 )
 
 func main() {
-	// A small system: quick bootstrap budgets so this runs in ~a minute.
-	sys, err := odin.New(odin.Options{
-		Seed:            42,
-		BootstrapFrames: 300,
-		BootstrapEpochs: 4,
-		BaselineEpochs:  15,
-	})
+	// A small server: quick bootstrap budgets so this runs in ~a minute.
+	srv, err := odin.New(
+		odin.WithSeed(42),
+		odin.WithBootstrapFrames(300),
+		odin.WithBootstrapEpochs(4),
+		odin.WithBaselineEpochs(15),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ctx := context.Background()
 
 	fmt.Println("bootstrapping (training DA-GAN projection + baseline detector)...")
-	if err := sys.Bootstrap(nil); err != nil {
+	if err := srv.Bootstrap(ctx, nil); err != nil {
 		log.Fatal(err)
 	}
 
-	// Phase 1: clear day-time driving. ODIN discovers its first concept
-	// cluster and trains a specialist for it.
-	fmt.Println("phase 1: streaming DAY frames")
-	for _, f := range sys.GenerateFrames(odin.DayData, 400) {
-		r := sys.Process(f)
+	// One session for our single camera. Workers: 4 shards the per-frame
+	// project→select→detect stages; results come back in frame order and
+	// are identical to sequential processing.
+	stream, err := srv.OpenStream(ctx, odin.StreamOptions{Name: "dash-cam", Workers: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Close()
+
+	// Phase 1: clear day-time driving — ODIN discovers its first concept
+	// cluster. Phase 2: night falls, the input distribution shifts, ODIN
+	// detects the drift and recovers with a night specialist.
+	in := make(chan *odin.Frame, 32)
+	go func() {
+		defer close(in)
+		for _, phase := range []odin.Subset{odin.DayData, odin.NightData} {
+			fmt.Printf("streaming %v frames...\n", phase)
+			for _, f := range srv.GenerateFrames(phase, 400) {
+				in <- f
+			}
+		}
+	}()
+
+	for r := range stream.Run(ctx, in) {
 		if r.Drift != nil {
 			fmt.Printf("  drift detected at frame %d: new cluster %s\n",
-				sys.Stats().Frames, r.Drift.Cluster.Label)
+				r.Seq+1, r.Drift.Cluster.Label)
 		}
 	}
 
-	// Phase 2: night falls — the input distribution shifts. ODIN detects
-	// the drift and recovers with a night specialist.
-	fmt.Println("phase 2: streaming NIGHT frames (drift!)")
-	for _, f := range sys.GenerateFrames(odin.NightData, 400) {
-		r := sys.Process(f)
-		if r.Drift != nil {
-			fmt.Printf("  drift detected at frame %d: new cluster %s\n",
-				sys.Stats().Frames, r.Drift.Cluster.Label)
-		}
-	}
-
-	st := sys.Stats()
+	st := srv.Stats()
 	fmt.Println()
 	fmt.Printf("frames processed:   %d\n", st.Frames)
 	fmt.Printf("drift events:       %d\n", st.DriftEvents)
-	fmt.Printf("clusters found:     %d\n", sys.NumClusters())
-	fmt.Printf("specialist models:  %d\n", sys.NumModels())
+	fmt.Printf("clusters found:     %d\n", srv.NumClusters())
+	fmt.Printf("specialist models:  %d\n", srv.NumModels())
 	fmt.Printf("simulated FPS:      %.0f\n", st.FPS())
-	fmt.Printf("model memory:       %.0f MB\n", sys.MemoryMB())
+	fmt.Printf("model memory:       %.0f MB\n", srv.MemoryMB())
 }

@@ -1,7 +1,9 @@
 package core
 
 import (
+	"fmt"
 	"math"
+	"sync"
 	"testing"
 
 	"odin/internal/cluster"
@@ -374,5 +376,150 @@ func TestOdinMaxClustersEvictsModels(t *testing.T) {
 	}
 	if o.Manager.NumModels() > 2 {
 		t.Fatalf("model count %d exceeds MaxClusters", o.Manager.NumModels())
+	}
+}
+
+// streamTestPipeline builds a deterministic pipeline for the sharding
+// tests: seeded generator, fast-trained baseline, stub projector. Two calls
+// produce bit-identical pipelines.
+func streamTestPipeline(t *testing.T) *Odin {
+	t.Helper()
+	scene := synth.DefaultSceneConfig()
+	gen := synth.NewSceneGen(6, scene)
+	base := detect.NewGridDetector(detect.YOLOConfig(scene.H, scene.W))
+	base.Fit(detect.SamplesFromFrames(gen.Dataset(synth.FullData, 60)), 4, 16)
+	cfg := DefaultConfig(scene)
+	cfg.Cluster = testClusterConfig()
+	cfg.Spec.LiteEpochs = 3
+	cfg.Spec.SpecEpochs = 4
+	cfg.Spec.LabelDelay = 120
+	cfg.Spec.MaxTrainFrames = 120
+	return New(cfg, statsProjector{}, base)
+}
+
+// driftTestStream renders a two-phase drifting stream (day → night).
+func driftTestStream(n int) []*synth.Frame {
+	gen := synth.NewSceneGen(21, synth.DefaultSceneConfig())
+	out := make([]*synth.Frame, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, gen.GenerateSubset(synth.DayData))
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, gen.GenerateSubset(synth.NightData))
+	}
+	return out
+}
+
+// requireResultsEqual asserts two per-frame results are identical —
+// detections bit-for-bit, cluster assignments, drift events, models and
+// simulated latency.
+func requireResultsEqual(t *testing.T, tag string, i int, want, got Result) {
+	t.Helper()
+	if got.ClusterID != want.ClusterID {
+		t.Fatalf("%s frame %d: cluster %d, want %d", tag, i, got.ClusterID, want.ClusterID)
+	}
+	if (got.Drift == nil) != (want.Drift == nil) {
+		t.Fatalf("%s frame %d: drift presence mismatch", tag, i)
+	}
+	if got.Drift != nil && (got.Drift.Cluster.ID != want.Drift.Cluster.ID || got.Drift.AtPoint != want.Drift.AtPoint) {
+		t.Fatalf("%s frame %d: drift event differs", tag, i)
+	}
+	if len(got.ModelsUsed) != len(want.ModelsUsed) {
+		t.Fatalf("%s frame %d: models %v, want %v", tag, i, got.ModelsUsed, want.ModelsUsed)
+	}
+	for k := range got.ModelsUsed {
+		if got.ModelsUsed[k] != want.ModelsUsed[k] {
+			t.Fatalf("%s frame %d: models %v, want %v", tag, i, got.ModelsUsed, want.ModelsUsed)
+		}
+	}
+	if got.SimLatency != want.SimLatency {
+		t.Fatalf("%s frame %d: sim latency %v, want %v", tag, i, got.SimLatency, want.SimLatency)
+	}
+	if len(got.Detections) != len(want.Detections) {
+		t.Fatalf("%s frame %d: %d detections, want %d", tag, i, len(got.Detections), len(want.Detections))
+	}
+	for k := range got.Detections {
+		if got.Detections[k] != want.Detections[k] {
+			t.Fatalf("%s frame %d: detection %d differs: %+v vs %+v", tag, i, k, got.Detections[k], want.Detections[k])
+		}
+	}
+}
+
+// TestProcessBatchMatchesSequential pins the sharded streaming path to the
+// sequential one: for 1, 4 and 8 workers, ProcessBatch over a drifting
+// stream must yield bit-identical detections, cluster assignments, drift
+// events and stats. Run under -race in CI, this also proves the
+// inference/drift synchronization split is data-race free.
+func TestProcessBatchMatchesSequential(t *testing.T) {
+	stream := driftTestStream(300)
+
+	seq := streamTestPipeline(t)
+	want := make([]Result, len(stream))
+	for i, f := range stream {
+		want[i] = seq.Process(f)
+	}
+	wantStats := seq.Stats()
+	if wantStats.DriftEvents < 2 {
+		t.Fatalf("setup: stream triggered only %d drift events; sharding paths untested", wantStats.DriftEvents)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		o := streamTestPipeline(t)
+		window := 4 * workers
+		if window < 8 {
+			window = 8
+		}
+		got := make([]Result, 0, len(stream))
+		for lo := 0; lo < len(stream); lo += window {
+			hi := lo + window
+			if hi > len(stream) {
+				hi = len(stream)
+			}
+			got = append(got, o.ProcessBatch(stream[lo:hi], workers)...)
+		}
+		for i := range want {
+			requireResultsEqual(t, fmt.Sprintf("workers=%d", workers), i, want[i], got[i])
+		}
+		if st := o.Stats(); st != wantStats {
+			t.Fatalf("workers=%d: stats %+v, want %+v", workers, st, wantStats)
+		}
+	}
+}
+
+// TestConcurrentStreamsShareModelSet runs two goroutines Process-ing
+// frames against one shared pipeline. The interleaving is nondeterministic
+// by nature; the test asserts race-freedom (via -race in CI), that every
+// frame is served, and that drift recovery on the shared model set still
+// happens.
+func TestConcurrentStreamsShareModelSet(t *testing.T) {
+	o := streamTestPipeline(t)
+	streams := [][]*synth.Frame{driftTestStream(150), driftTestStream(150)}
+
+	var wg sync.WaitGroup
+	served := make([]int, len(streams))
+	for s := range streams {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for _, f := range streams[s] {
+				r := o.Process(f)
+				if len(r.ModelsUsed) > 0 {
+					served[s]++
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, n := range served {
+		if n != 300 {
+			t.Fatalf("stream %d: served %d of 300 frames", s, n)
+		}
+	}
+	st := o.Stats()
+	if st.Frames != 600 {
+		t.Fatalf("frames %d, want 600", st.Frames)
+	}
+	if st.DriftEvents == 0 {
+		t.Fatal("shared pipeline should have detected drift")
 	}
 }

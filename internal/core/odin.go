@@ -1,6 +1,9 @@
 package core
 
 import (
+	"fmt"
+	"sync"
+
 	"odin/internal/cluster"
 	"odin/internal/detect"
 	"odin/internal/gan"
@@ -48,6 +51,21 @@ type Result struct {
 	SimLatency float64
 }
 
+// Fingerprint reduces the Result to a comparable summary for determinism
+// checks: the sharded path must reproduce sequential results exactly, so
+// the facade tests and `odin-bench -exp stream` compare fingerprints
+// frame by frame. Drift events are identified by cluster label and seed
+// count because cluster pointers differ across separately constructed
+// pipelines.
+func (r Result) Fingerprint() string {
+	drift := ""
+	if r.Drift != nil {
+		drift = fmt.Sprintf("%s/%d", r.Drift.Cluster.Label, r.Drift.NumSeeds)
+	}
+	return fmt.Sprintf("c=%d m=%v d=%s lat=%.9f dets=%v",
+		r.ClusterID, r.ModelsUsed, drift, r.SimLatency, r.Detections)
+}
+
 // Stats aggregates pipeline telemetry.
 type Stats struct {
 	Frames      int
@@ -64,8 +82,6 @@ func (s Stats) FPS() float64 {
 	return float64(s.Frames) / s.SimTime
 }
 
-// Odin is the end-to-end system of Figure 3: DETECTOR → (SPECIALIZER on
-// drift) → SELECTOR → detection.
 // bufferedOutlier pairs an outlier frame with its latent projection so
 // drift-time seed filtering can test cluster membership.
 type bufferedOutlier struct {
@@ -73,11 +89,35 @@ type bufferedOutlier struct {
 	latent []float64
 }
 
+// Odin is the end-to-end system of Figure 3: DETECTOR → (SPECIALIZER on
+// drift) → SELECTOR → detection.
+//
+// Concurrency model: per-frame processing is split into three stages so N
+// streams can share one model set.
+//
+//	Project — pure: frame → DA-GAN latent. Lock-free; the projector is
+//	          immutable after construction.
+//	Advance — mutating: cluster assignment, outlier buffering, drift
+//	          handling, specializer training and model selection. This is
+//	          the single explicit synchronization point (mu); calls are
+//	          serialized in frame order, and the returned Plan freezes the
+//	          selected models so later mutations cannot affect this frame.
+//	Execute — pure: runs the Plan's models on the frame and fuses
+//	          detections. Lock-free; deployed models are immutable once
+//	          trained (drift swaps pointers in Advance, it never retrains
+//	          a deployed model in place).
+//
+// Process composes the three sequentially; ProcessBatch shards the pure
+// stages across a bounded worker pool and batches same-model detection,
+// producing bit-identical results (see processbatch.go).
 type Odin struct {
 	Cfg      Config
 	Detector *Detector
 	Manager  *ModelManager
 
+	// mu guards every mutation of shared pipeline state: the cluster set,
+	// the outlier ring, the model manager's maps and the stats counters.
+	mu          sync.Mutex
 	outlierRing []bufferedOutlier
 	stats       Stats
 }
@@ -95,26 +135,81 @@ func New(cfg Config, proj gan.Projector, baseline *detect.GridDetector) *Odin {
 }
 
 // Stats returns aggregate telemetry.
-func (o *Odin) Stats() Stats { return o.stats }
+func (o *Odin) Stats() Stats {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.stats
+}
 
 // MemoryMB returns the simulated resident model memory.
-func (o *Odin) MemoryMB() float64 { return o.Manager.MemoryMB() }
+func (o *Odin) MemoryMB() float64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.Manager.MemoryMB()
+}
 
-// Process runs one frame through the pipeline.
-func (o *Odin) Process(f *synth.Frame) Result {
+// NumClusters returns the number of permanent concept clusters.
+func (o *Odin) NumClusters() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.Detector.Clusters.Permanent)
+}
+
+// NumModels returns the number of resident specialized/lite models.
+func (o *Odin) NumModels() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.Manager.NumModels()
+}
+
+// Plan is the frozen outcome of Advance for one frame: the partial result
+// (cluster assignment, drift event) plus the captured model selection that
+// Execute will run. Capturing the selection is what decouples the ordered,
+// mutating drift stage from the parallel detection stage.
+type Plan struct {
+	res    Result
+	models []WeightedModel
+}
+
+// Project computes the frame's DA-GAN latent — stage one of the pipeline.
+// It reads only immutable state and may run concurrently with everything.
+// Returns nil in static (no drift recovery) mode, where no projection is
+// needed.
+func (o *Odin) Project(f *synth.Frame) []float64 {
+	if !o.Cfg.DriftRecovery {
+		return nil
+	}
+	return o.Detector.Project(f.Image)
+}
+
+// Advance runs the serialized drift stage for one frame: cluster
+// observation, outlier buffering, drift-triggered training, and model
+// selection. z must be the frame's Project output (nil in static mode).
+// Frames must be advanced in stream order for reproducible cluster
+// evolution; the mutex serializes concurrent streams.
+func (o *Odin) Advance(f *synth.Frame, z []float64) Plan {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.advanceLocked(f, z)
+}
+
+// advanceLocked is Advance with o.mu held (ProcessBatch holds it across a
+// whole batch).
+func (o *Odin) advanceLocked(f *synth.Frame, z []float64) Plan {
 	o.stats.Frames++
 
 	if !o.Cfg.DriftRecovery {
-		return o.processStatic(f)
+		return Plan{
+			res:    Result{ClusterID: -1},
+			models: []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}},
+		}
 	}
 
-	obs := o.Detector.Observe(f.Image)
+	a := o.Detector.Clusters.Observe(z)
 	res := Result{ClusterID: -1}
-
-	a := obs.Assignment
 	if a.Outlier {
 		o.stats.Outliers++
-		o.bufferOutlier(f, obs.Latent)
+		o.bufferOutlier(f, z)
 	} else if a.Primary != nil {
 		res.ClusterID = a.Primary.ID
 		o.Manager.AddFrame(a.Primary.ID, f)
@@ -129,30 +224,22 @@ func (o *Odin) Process(f *synth.Frame) Result {
 
 	// SELECTOR: pick the ensemble, fall back to the baseline when no
 	// specialized model exists yet.
-	selection := o.Manager.selectFor(obs.Latent, o.Detector.Clusters, o.Cfg.Selector)
+	selection := o.Manager.selectFor(z, o.Detector.Clusters, o.Cfg.Selector)
 	if len(selection) == 0 {
-		return o.runModels(f, []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}}, res)
+		selection = []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}}
 	}
-	return o.runModels(f, selection, res)
+	return Plan{res: res, models: selection}
 }
 
-// selectFor adapts the Selector to the manager's internal maps.
-func (mm *ModelManager) selectFor(z []float64, clusters *cluster.Set, sel Selector) []WeightedModel {
-	return sel.Select(z, clusters, mm.byCluster, mm.mostRecent)
-}
-
-// processStatic is the no-drift-recovery path: the heavyweight baseline
-// serves every frame.
-func (o *Odin) processStatic(f *synth.Frame) Result {
-	return o.runModels(f, []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}}, Result{ClusterID: -1})
-}
-
-// runModels executes the weighted ensemble, fuses detections and accounts
-// simulated latency.
-func (o *Odin) runModels(f *synth.Frame, models []WeightedModel, res Result) Result {
-	sets := make([][]detect.Detection, 0, len(models))
-	weights := make([]float64, 0, len(models))
-	for _, wm := range models {
+// Execute runs the Plan's captured models on the frame and fuses their
+// detections — stage three. It reads only the frozen Plan and immutable
+// model weights, so any number of Executes may run concurrently; simulated
+// time is accounted separately (addSimTime) to keep this stage pure.
+func (o *Odin) Execute(f *synth.Frame, p Plan) Result {
+	res := p.res
+	sets := make([][]detect.Detection, 0, len(p.models))
+	weights := make([]float64, 0, len(p.models))
+	for _, wm := range p.models {
 		if wm.Model == nil || wm.Model.Det == nil {
 			continue
 		}
@@ -168,13 +255,34 @@ func (o *Odin) runModels(f *synth.Frame, models []WeightedModel, res Result) Res
 	} else if len(sets) > 1 {
 		res.Detections = FuseDetections(sets, weights)
 	}
-	o.stats.SimTime += res.SimLatency
+	return res
+}
+
+// addSimTime accumulates simulated GPU seconds in frame order, so the
+// sharded and sequential paths produce bit-identical stats.
+func (o *Odin) addSimTime(t float64) {
+	o.mu.Lock()
+	o.stats.SimTime += t
+	o.mu.Unlock()
+}
+
+// selectFor adapts the Selector to the manager's internal maps.
+func (mm *ModelManager) selectFor(z []float64, clusters *cluster.Set, sel Selector) []WeightedModel {
+	return sel.Select(z, clusters, mm.byCluster, mm.mostRecent)
+}
+
+// Process runs one frame through the pipeline: Project → Advance → Execute.
+func (o *Odin) Process(f *synth.Frame) Result {
+	z := o.Project(f)
+	p := o.Advance(f, z)
+	res := o.Execute(f, p)
+	o.addSimTime(res.SimLatency)
 	return res
 }
 
 // bufferOutlier keeps the recent outlier frames aligned with the
 // temporary cluster's sliding window; they become the training seeds of
-// the next promoted cluster.
+// the next promoted cluster. Caller holds o.mu.
 func (o *Odin) bufferOutlier(f *synth.Frame, z []float64) {
 	limit := o.Cfg.Cluster.TempWindow
 	if limit <= 0 {
@@ -190,7 +298,7 @@ func (o *Odin) bufferOutlier(f *synth.Frame, z []float64) {
 // actually belong to the newly promoted cluster. The ring also holds
 // unrelated stragglers (other domains' out-of-band tails); training a
 // specialized model on those would contaminate it, so seeds are filtered
-// by cluster membership.
+// by cluster membership. Caller holds o.mu.
 func (o *Odin) takeOutliers(c *cluster.Cluster) []*synth.Frame {
 	var seeds []*synth.Frame
 	for _, b := range o.outlierRing {

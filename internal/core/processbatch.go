@@ -1,0 +1,142 @@
+package core
+
+import (
+	"odin/internal/detect"
+	"odin/internal/gan"
+	"odin/internal/synth"
+	"odin/internal/tensor"
+)
+
+// This file is the sharded streaming path (ROADMAP "Sharded streaming"):
+// ProcessBatch runs a window of frames through the pipeline with the pure
+// stages fanned out across a bounded worker pool and the mutating drift
+// stage serialized in frame order. Two properties make it fast without
+// sacrificing reproducibility:
+//
+//  1. Stage sharding. Projection and detection are pure (see Odin's
+//     concurrency model), so frames split across tensor.ParallelWorkers;
+//     each index writes only its own slot, which re-orders results back to
+//     frame order for free.
+//  2. Same-model batching. Frames whose Plan selected the same single
+//     model run as one DetectBatch — batch-level im2col turns N small
+//     matmuls into one large one (the PR-1 substrate's 2.3× conv win).
+//     The matmul kernels accumulate each output element over k in a fixed
+//     order regardless of batch width, so batched detection is
+//     bit-identical to per-frame detection.
+//
+// The result: ProcessBatch(frames, w) equals the sequence of Process(f)
+// calls exactly — detections, cluster assignments, drift events and even
+// the simulated-time stats — for every worker count.
+
+// ProcessBatch processes frames in stream order with the project and
+// detect stages sharded across at most workers concurrent executors.
+// Results are identical to calling Process on each frame in order.
+func (o *Odin) ProcessBatch(frames []*synth.Frame, workers int) []Result {
+	n := len(frames)
+	if n == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Stage 1 — project (parallel, pure).
+	latents := o.projectAll(frames, workers)
+
+	// Stage 2 — advance (serialized, in frame order, one lock acquisition
+	// for the whole window).
+	plans := make([]Plan, n)
+	o.mu.Lock()
+	for i, f := range frames {
+		plans[i] = o.advanceLocked(f, latents[i])
+	}
+	o.mu.Unlock()
+
+	// Stage 3 — execute (parallel, pure): group single-model frames by
+	// model for batched detection, shard the ensemble frames.
+	results := make([]Result, n)
+	o.executeBatched(frames, plans, results, workers)
+
+	// Simulated time accumulates in frame order so the sharded and
+	// sequential paths report bit-identical stats.
+	o.mu.Lock()
+	for i := range results {
+		o.stats.SimTime += results[i].SimLatency
+	}
+	o.mu.Unlock()
+	return results
+}
+
+// projectAll computes every frame's latent. Encoding shards across the
+// worker pool; the projector encodes the whole window in one forward pass
+// when it supports batching (the DA-GAN does), otherwise per-frame
+// projection shards too.
+func (o *Odin) projectAll(frames []*synth.Frame, workers int) [][]float64 {
+	n := len(frames)
+	latents := make([][]float64, n)
+	if !o.Cfg.DriftRecovery {
+		return latents // static mode projects nothing
+	}
+	bp, batched := o.Detector.Proj.(gan.BatchProjector)
+	if batched && n > 1 {
+		rows := make([][]float64, n)
+		tensor.ParallelWorkers(n, workers, func(i0, i1 int) {
+			for i := i0; i < i1; i++ {
+				rows[i] = o.Detector.Encode(frames[i].Image)
+			}
+		})
+		return bp.ProjectBatch(rows)
+	}
+	tensor.ParallelWorkers(n, workers, func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			latents[i] = o.Detector.Project(frames[i].Image)
+		}
+	})
+	return latents
+}
+
+// executeBatched fills results[i] = Execute(frames[i], plans[i]), batching
+// frames that selected the same single model through DetectBatch and
+// sharding the rest.
+func (o *Odin) executeBatched(frames []*synth.Frame, plans []Plan, results []Result, workers int) {
+	groups := make(map[*Model][]int)
+	var rest []int
+	for i, p := range plans {
+		if len(p.models) == 1 && p.models[0].Model != nil && p.models[0].Model.Det != nil {
+			m := p.models[0].Model
+			groups[m] = append(groups[m], i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+
+	for m, idx := range groups {
+		if len(idx) == 1 {
+			rest = append(rest, idx[0])
+			continue
+		}
+		imgs := make([]*synth.Image, len(idx))
+		for k, i := range idx {
+			imgs[k] = frames[i].Image
+		}
+		dets := m.Det.DetectBatch(imgs)
+		for k, i := range idx {
+			res := plans[i].res
+			res.Detections = dets[k]
+			res.ModelsUsed = append(res.ModelsUsed, m.Name())
+			if m.Cost.FPS > 0 {
+				res.SimLatency += 1 / m.Cost.FPS
+			}
+			results[i] = res
+		}
+	}
+
+	tensor.ParallelWorkers(len(rest), workers, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			i := rest[k]
+			results[i] = o.Execute(frames[i], plans[i])
+		}
+	})
+}
+
+var _ detect.BatchDetector = (*detect.GridDetector)(nil)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"odin/internal/nn"
 	"odin/internal/synth"
@@ -175,11 +176,23 @@ func (g *GridDetector) cellIndex(ch, gy, gx int) int {
 	return ch*g.GH*g.GW + gy*g.GW + gx
 }
 
-// Detect runs the network on one frame and decodes detections.
+// vecWrap recycles the 1×dim Mat headers that wrap a frame's pixel slice
+// for Predict, so the streaming hot path allocates nothing per frame (the
+// header aliases the image storage; no pixels are copied). A sync.Pool —
+// rather than the workspace pool — because headers carry no backing array
+// and Detect runs concurrently across stream shards.
+var vecWrap = sync.Pool{New: func() any { return new(tensor.Mat) }}
+
+// Detect runs the network on one frame and decodes detections. It mutates
+// no detector state, so concurrent calls on a shared detector are safe.
 func (g *GridDetector) Detect(img *synth.Image) []Detection {
-	out := g.Net.Predict(tensor.FromVec(img.Flat()))
+	in := vecWrap.Get().(*tensor.Mat)
+	in.R, in.C, in.V = 1, img.Dim(), img.Flat()
+	out := g.Net.Predict(in)
 	dets := g.decode(out.Row(0))
 	nn.Recycle(out)
+	in.V = nil // do not pin the image past the call
+	vecWrap.Put(in)
 	return dets
 }
 

@@ -29,6 +29,14 @@ const (
 	Full
 )
 
+// String returns the CLI name ParseScale accepts.
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
 // ParseScale maps a CLI string to a Scale.
 func ParseScale(s string) (Scale, error) {
 	switch strings.ToLower(s) {

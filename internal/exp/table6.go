@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -201,7 +202,7 @@ func RunTable6(c *Context, w io.Writer) Table6Result {
 					cf.filter[class], cf.model, classes[class])
 				row.HasFilter = true
 			}
-			out, err := eng.Run(sql, frames)
+			out, err := eng.Run(context.Background(), sql, frames)
 			if err != nil {
 				panic(fmt.Sprintf("table6: %v", err))
 			}

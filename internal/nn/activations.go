@@ -50,14 +50,12 @@ type ReLU struct {
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
 
-// Forward applies max(0, x) element-wise. The backward cache is only kept
-// for training passes — Backward after an inference Forward panics rather
-// than silently using stale data.
+// Forward applies max(0, x) element-wise. The backward cache is only
+// written on training passes; inference passes touch no layer state, so
+// concurrent inference is race-free.
 func (r *ReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if train {
 		r.lastIn = x
-	} else {
-		r.lastIn = nil
 	}
 	out := ws.GetRaw(x.R, x.C)
 	reluInto(out.V, x.V)
@@ -89,12 +87,11 @@ type LeakyReLU struct {
 // NewLeakyReLU returns a leaky ReLU with the given negative slope.
 func NewLeakyReLU(alpha float64) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
-// Forward applies the leaky rectifier element-wise.
+// Forward applies the leaky rectifier element-wise. Layer state is only
+// written on training passes.
 func (l *LeakyReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if train {
 		l.lastIn = x
-	} else {
-		l.lastIn = nil
 	}
 	out := ws.GetRaw(x.R, x.C)
 	leakyReLUInto(out.V, x.V, l.Alpha)
@@ -131,8 +128,6 @@ func (s *Sigmoid) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	sigmoidInto(out.V, x.V)
 	if train {
 		s.lastOut = out
-	} else {
-		s.lastOut = nil
 	}
 	return out
 }
@@ -163,8 +158,6 @@ func (t *Tanh) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	tanhInto(out.V, x.V)
 	if train {
 		t.lastOut = out
-	} else {
-		t.lastOut = nil
 	}
 	return out
 }
@@ -195,9 +188,13 @@ func NewDropout(p float64, rng *tensor.RNG) *Dropout {
 	return &Dropout{P: p, rng: rng}
 }
 
-// Forward applies the dropout mask when train is true.
+// Forward applies the dropout mask when train is true. Inference is the
+// identity and touches no layer state (re-entrant).
 func (d *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	if !train || d.P <= 0 {
+	if !train {
+		return x
+	}
+	if d.P <= 0 {
 		d.mask = nil
 		return x
 	}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"sync"
 	"testing"
 
 	"odin/internal/tensor"
@@ -81,6 +82,92 @@ func TestNetworkTrainingStepAllocs(t *testing.T) {
 	// loose — the point is that it does not scale with layer count × batch.
 	if avg > 24 {
 		t.Fatalf("network step allocates %.0f/op, want steady-state reuse (≤24)", avg)
+	}
+}
+
+// TestInferencePredictAllocs pins the streaming hot path: a detector-shaped
+// inference pass (conv → batchnorm → leaky ReLU → 1×1 head) must draw every
+// scratch matrix — including the im2col patch buffer and the batchnorm
+// affine scratch — from the workspace pool. This is the per-frame `Detect`
+// path of the streaming core (ROADMAP: "recycle the remaining inference
+// paths"); before the pooled-inference rework it allocated the patch matrix
+// and BN scratch on every frame.
+func TestInferencePredictAllocs(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	conv := NewConv2D(3, 16, 16, 8, 3, 2, 1, rng)
+	net := NewNetwork("det",
+		conv,
+		NewBatchNorm(conv.OutSize()),
+		NewLeakyReLU(0.1),
+		NewConv2D(8, conv.OutH, conv.OutW, 10, 1, 1, 0, rng),
+	)
+	x := tensor.New(1, 3*16*16)
+	rng.FillNormal(x, 1)
+
+	step := func() {
+		out := net.Predict(x)
+		Recycle(out)
+	}
+	step() // warm the pool
+	avg := testing.AllocsPerRun(20, func() { step() })
+	// The only residue is the parallel-loop closure headers (a few dozen
+	// bytes); every matrix comes from the pool.
+	if avg > 8 {
+		t.Fatalf("inference pass allocates %.0f/op, want pooled reuse (≤8)", avg)
+	}
+}
+
+// TestPredictConcurrentConsistency runs inference on a shared network from
+// many goroutines at once and pins every result to the sequential output.
+// Inference Forwards must not touch layer state (see Layer contract) — this
+// is what the sharded streaming pipeline relies on, and `go test -race`
+// turns any regression into a hard failure.
+func TestPredictConcurrentConsistency(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	conv := NewConv2D(3, 12, 12, 6, 3, 1, 1, rng)
+	net := NewNetwork("det",
+		conv,
+		NewBatchNorm(conv.OutSize()),
+		NewLeakyReLU(0.1),
+		NewConv2D(6, conv.OutH, conv.OutW, 4, 1, 1, 0, rng),
+	)
+	const inputs = 6
+	xs := make([]*tensor.Mat, inputs)
+	want := make([][]float64, inputs)
+	for i := range xs {
+		xs[i] = tensor.New(1, 3*12*12)
+		rng.FillNormal(xs[i], 1)
+		out := net.Predict(xs[i])
+		want[i] = append([]float64(nil), out.Row(0)...)
+		Recycle(out)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				i := (g + rep) % inputs
+				out := net.Predict(xs[i])
+				for j, v := range out.Row(0) {
+					if v != want[i][j] {
+						select {
+						case errs <- "concurrent predict diverged from sequential":
+						default:
+						}
+						break
+					}
+				}
+				Recycle(out)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
 	}
 }
 

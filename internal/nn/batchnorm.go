@@ -56,7 +56,8 @@ func NewBatchNorm(dim int) *BatchNorm {
 }
 
 // Forward normalises the batch with batch statistics (train) or running
-// statistics (inference).
+// statistics (inference). Inference draws its scratch from the workspace
+// pool and writes no layer state, so concurrent inference is race-free.
 func (b *BatchNorm) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != b.Dim {
 		panic("nn: batchnorm width mismatch")
@@ -65,8 +66,9 @@ func (b *BatchNorm) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if !train || x.R == 1 {
 		// Precompute the affine form y = scale*x + shift of the running-stat
 		// normalisation so the row loop is two flops per element.
-		scale := b.sumG[:b.Dim]
-		shift := b.sumGX[:b.Dim]
+		sc := ws.GetRaw(2, b.Dim)
+		scale := sc.Row(0)
+		shift := sc.Row(1)
 		for j := 0; j < b.Dim; j++ {
 			s := b.Gamma.W.V[j] / math.Sqrt(b.RunVar[j]+b.Eps)
 			scale[j] = s
@@ -78,7 +80,10 @@ func (b *BatchNorm) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 				dst[j] = scale[j]*v + shift[j]
 			}
 		}
-		b.lastXHat = nil
+		ws.Put(sc)
+		if train {
+			b.lastXHat = nil // single-row training backward uses running stats
+		}
 		return out
 	}
 	n := float64(x.R)

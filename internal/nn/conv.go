@@ -126,7 +126,9 @@ func (c *Conv2D) col2imInto(cols *tensor.Mat, off int, dst []float64) {
 }
 
 // Forward convolves the batch: one im2col pass, one weight×patches multiply
-// and a bias-fused regroup into row-major output.
+// and a bias-fused regroup into row-major output. Training retains the
+// patch matrix as the backward cache; inference draws it from the workspace
+// pool and writes no layer state, so concurrent inference is race-free.
 func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != c.InSize() {
 		panic(fmt.Sprintf("nn: conv2d input width %d, want %d", x.C, c.InSize()))
@@ -134,11 +136,17 @@ func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	r := x.R
 	spatial := c.OutH * c.OutW
 	rows := c.patchRows()
-	c.lastN = r
-	if c.cols == nil || c.cols.R != rows || c.cols.C != r*spatial {
-		c.cols = tensor.New(rows, r*spatial)
+	var cols *tensor.Mat
+	if train {
+		c.lastN = r
+		if c.cols == nil || c.cols.R != rows || c.cols.C != r*spatial {
+			c.cols = tensor.New(rows, r*spatial)
+		}
+		cols = c.cols
+	} else {
+		// im2colInto writes every element (pads as zeros), so raw reuse is safe.
+		cols = ws.GetRaw(rows, r*spatial)
 	}
-	cols := c.cols
 	tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
 		for n := n0; n < n1; n++ {
 			c.im2colInto(x.Row(n), cols, n*spatial)
@@ -148,6 +156,9 @@ func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	// y holds the whole batch channel-major: y[oc][n*spatial+s].
 	y := ws.GetRaw(c.OutC, r*spatial)
 	tensor.MatMulInto(y, c.Weight.W, cols)
+	if !train {
+		ws.Put(cols)
+	}
 
 	// Regroup into per-sample rows, adding the channel bias in the same pass.
 	out := ws.GetRaw(r, c.OutSize())

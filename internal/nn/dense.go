@@ -29,17 +29,16 @@ func NewDense(in, out int, rng *tensor.RNG) *Dense {
 }
 
 // Forward computes xW + b for a batch x (rows are examples), with the bias
-// folded into the matmul epilogue. The backward cache is only kept for
-// training passes — Backward after an inference Forward panics rather than
-// silently using stale data.
+// folded into the matmul epilogue. The backward cache is only written on
+// training passes; inference passes touch no layer state at all, so any
+// number of goroutines may run inference Forwards concurrently (Backward
+// must follow a Forward with train=true).
 func (d *Dense) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != d.In {
 		panic("nn: dense input width mismatch")
 	}
 	if train {
 		d.lastIn = x
-	} else {
-		d.lastIn = nil
 	}
 	out := ws.GetRaw(x.R, d.Out)
 	tensor.MatMulBiasInto(out, x, d.Weight.W, d.Bias.W.V)
@@ -48,12 +47,11 @@ func (d *Dense) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 
 // forwardFused is the inference-only path: xW + b with the following
 // activation applied in place while the output is cache-hot. No backward
-// caches are recorded.
+// caches are recorded and no layer state is touched (re-entrant).
 func (d *Dense) forwardFused(x *tensor.Mat, act func([]float64)) *tensor.Mat {
 	if x.C != d.In {
 		panic("nn: dense input width mismatch")
 	}
-	d.lastIn = nil
 	out := ws.GetRaw(x.R, d.Out)
 	tensor.MatMulBiasInto(out, x, d.Weight.W, d.Bias.W.V)
 	act(out.V)

@@ -33,11 +33,12 @@ func newParam(name string, r, c int) *Param {
 // to the layer output and returns the gradient with respect to the layer
 // input, accumulating parameter gradients along the way.
 //
-// Backward must follow a Forward with train=true: inference Forwards drop
-// their backward caches (so the workspace pool can reclaim intermediates),
-// and layers panic rather than differentiate stale state. BatchNorm is the
-// one exception — its inference-mode backward needs only running
-// statistics and stays valid.
+// Backward must follow a Forward with train=true on the same layer.
+// Inference Forwards (train=false) write no layer state at all — they draw
+// any scratch from the workspace pool — so any number of goroutines may run
+// inference concurrently on a shared network; this is what lets N streams
+// share one model set in the sharded pipeline. BatchNorm additionally
+// supports an inference-mode backward from running statistics alone.
 type Layer interface {
 	Forward(x *tensor.Mat, train bool) *tensor.Mat
 	Backward(grad *tensor.Mat) *tensor.Mat

@@ -1,9 +1,11 @@
 package query
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"odin/internal/detect"
 	"odin/internal/synth"
@@ -13,14 +15,25 @@ import (
 // to ODIN's selector-driven pipeline.
 type ModelFunc func(f *synth.Frame) []detect.Detection
 
+// BatchModelFunc produces detections for a window of frames at once,
+// aligned with the input order. Batch bindings let the engine hand the
+// whole live-frame set to models that amortise work across frames (the
+// sharded ODIN pipeline, the baseline's batched forward pass); when both a
+// batch and a per-frame binding exist for a name, the batch one wins.
+type BatchModelFunc func(frames []*synth.Frame) [][]detect.Detection
+
 // FilterFunc is a lightweight boolean pre-screen: false drops the frame
 // before the heavyweight model runs (§6.6 "lightweight filters").
 type FilterFunc func(f *synth.Frame) bool
 
-// Engine executes parsed queries over a frame source.
+// Engine executes parsed queries over a frame source. Registration and
+// execution are safe for concurrent use: the registries are guarded by a
+// read-write mutex (registrations are rare, queries are hot).
 type Engine struct {
-	Models  map[string]ModelFunc
-	Filters map[string]FilterFunc
+	mu          sync.RWMutex
+	models      map[string]ModelFunc
+	batchModels map[string]BatchModelFunc
+	filters     map[string]FilterFunc
 	// MinScore is the detection-confidence floor for counting.
 	MinScore float64
 }
@@ -28,17 +41,52 @@ type Engine struct {
 // NewEngine returns an engine with empty registries.
 func NewEngine() *Engine {
 	return &Engine{
-		Models:   make(map[string]ModelFunc),
-		Filters:  make(map[string]FilterFunc),
-		MinScore: 0.3,
+		models:      make(map[string]ModelFunc),
+		batchModels: make(map[string]BatchModelFunc),
+		filters:     make(map[string]FilterFunc),
+		MinScore:    0.3,
 	}
 }
 
 // RegisterModel binds a model name usable in USING MODEL clauses.
-func (e *Engine) RegisterModel(name string, fn ModelFunc) { e.Models[name] = fn }
+func (e *Engine) RegisterModel(name string, fn ModelFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.models[name] = fn
+}
+
+// RegisterBatchModel binds a batch-capable model name usable in USING
+// MODEL clauses; it takes precedence over a per-frame binding of the same
+// name.
+func (e *Engine) RegisterBatchModel(name string, fn BatchModelFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.batchModels[name] = fn
+}
 
 // RegisterFilter binds a filter name usable in USING FILTER clauses.
-func (e *Engine) RegisterFilter(name string, fn FilterFunc) { e.Filters[name] = fn }
+func (e *Engine) RegisterFilter(name string, fn FilterFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.filters[name] = fn
+}
+
+// lookupFilter returns the registered filter, if any.
+func (e *Engine) lookupFilter(name string) (FilterFunc, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	fn, ok := e.filters[name]
+	return fn, ok
+}
+
+// lookupModel returns the registered batch and per-frame bindings of name.
+func (e *Engine) lookupModel(name string) (BatchModelFunc, bool, ModelFunc, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	bfn, batched := e.batchModels[name]
+	fn, single := e.models[name]
+	return bfn, batched, fn, single
+}
 
 // Result is the output of executing a query.
 type Result struct {
@@ -63,23 +111,28 @@ func (r Result) DataReduction() float64 {
 	return float64(r.FramesFiltered) / float64(r.FramesScanned)
 }
 
-// Run parses and executes a query string over frames.
-func (e *Engine) Run(sql string, frames []*synth.Frame) (*Result, error) {
+// Run parses and executes a query string over frames. The context cancels
+// execution between per-frame model invocations (and before each batch
+// invocation); a cancelled run returns ctx.Err().
+func (e *Engine) Run(ctx context.Context, sql string, frames []*synth.Frame) (*Result, error) {
 	q, err := Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return e.Execute(q, frames)
+	return e.Execute(ctx, q, frames)
 }
 
 // Execute runs a parsed query over frames.
-func (e *Engine) Execute(q *Query, frames []*synth.Frame) (*Result, error) {
+func (e *Engine) Execute(ctx context.Context, q *Query, frames []*synth.Frame) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := &Result{FramesScanned: len(frames)}
 	live := make([]bool, len(frames))
 	for i := range live {
 		live[i] = true
 	}
-	if err := e.exec(q, frames, live, res); err != nil {
+	if err := e.exec(ctx, q, frames, live, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -88,16 +141,16 @@ func (e *Engine) Execute(q *Query, frames []*synth.Frame) (*Result, error) {
 // exec evaluates the query tree: sub-queries first (they narrow the live
 // frame set via filters), then this level's filter, model, predicate and
 // projection.
-func (e *Engine) exec(q *Query, frames []*synth.Frame, live []bool, res *Result) error {
+func (e *Engine) exec(ctx context.Context, q *Query, frames []*synth.Frame, live []bool, res *Result) error {
 	if q.Sub != nil {
-		if err := e.exec(q.Sub, frames, live, res); err != nil {
+		if err := e.exec(ctx, q.Sub, frames, live, res); err != nil {
 			return err
 		}
 	}
 
 	// Filter stage.
 	if q.UseFilter != "" {
-		fn, ok := e.Filters[q.UseFilter]
+		fn, ok := e.lookupFilter(q.UseFilter)
 		if !ok {
 			return fmt.Errorf("query: unknown filter %q", q.UseFilter)
 		}
@@ -115,8 +168,8 @@ func (e *Engine) exec(q *Query, frames []*synth.Frame, live []bool, res *Result)
 	if q.UseModel == "" {
 		return nil
 	}
-	fn, ok := e.Models[q.UseModel]
-	if !ok {
+	bfn, batched, fn, single := e.lookupModel(q.UseModel)
+	if !batched && !single {
 		return fmt.Errorf("query: unknown model %q", q.UseModel)
 	}
 	classFilter := -1
@@ -130,16 +183,42 @@ func (e *Engine) exec(q *Query, frames []*synth.Frame, live []bool, res *Result)
 		}
 	}
 
+	// Gather the surviving frames so batch models see one contiguous
+	// window; liveIdx maps batch positions back to input positions.
+	liveFrames := make([]*synth.Frame, 0, len(frames))
+	liveIdx := make([]int, 0, len(frames))
+	for i, f := range frames {
+		if live[i] {
+			liveFrames = append(liveFrames, f)
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	var detsPerLive [][]detect.Detection
+	if batched {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		detsPerLive = bfn(liveFrames)
+		if len(detsPerLive) != len(liveFrames) {
+			return fmt.Errorf("query: batch model %q returned %d results for %d frames",
+				q.UseModel, len(detsPerLive), len(liveFrames))
+		}
+	} else {
+		detsPerLive = make([][]detect.Detection, len(liveFrames))
+		for k, f := range liveFrames {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			detsPerLive[k] = fn(f)
+		}
+	}
+
 	res.PerFrame = make([]int, len(frames))
 	res.Detections = make([][]detect.Detection, len(frames))
-	for i, f := range frames {
-		if !live[i] {
-			continue
-		}
+	for k, i := range liveIdx {
 		res.ModelFrames++
-		dets := fn(f)
 		var kept []detect.Detection
-		for _, d := range dets {
+		for _, d := range detsPerLive[k] {
 			if d.Score < e.MinScore {
 				continue
 			}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -134,7 +135,7 @@ func TestEngineCountWithOracle(t *testing.T) {
 	frames := makeFrames(1, 20)
 	e := NewEngine()
 	e.RegisterModel("oracle", oracleModel)
-	res, err := e.Run("SELECT COUNT(detections) FROM bdd USING MODEL oracle WHERE class='car'", frames)
+	res, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM bdd USING MODEL oracle WHERE class='car'", frames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +159,11 @@ func TestEngineNumericClassPredicate(t *testing.T) {
 	frames := makeFrames(2, 10)
 	e := NewEngine()
 	e.RegisterModel("oracle", oracleModel)
-	byName, err := e.Run("SELECT COUNT(detections) FROM bdd USING MODEL oracle WHERE class='truck'", frames)
+	byName, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM bdd USING MODEL oracle WHERE class='truck'", frames)
 	if err != nil {
 		t.Fatal(err)
 	}
-	byID, err := e.Run("SELECT COUNT(detections) FROM bdd USING MODEL oracle WHERE class=1", frames)
+	byID, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM bdd USING MODEL oracle WHERE class=1", frames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestEngineFilterStage(t *testing.T) {
 		return i%2 == 0
 	})
 	sql := `SELECT COUNT(detections) FROM (SELECT * FROM bdd USING FILTER alternating) USING MODEL oracle WHERE class='car'`
-	res, err := e.Run(sql, frames)
+	res, err := e.Run(context.Background(), sql, frames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,17 +198,17 @@ func TestEngineFilterStage(t *testing.T) {
 func TestEngineUnknownNames(t *testing.T) {
 	frames := makeFrames(4, 2)
 	e := NewEngine()
-	if _, err := e.Run("SELECT COUNT(detections) FROM bdd USING MODEL nope WHERE class='car'", frames); err == nil {
+	if _, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM bdd USING MODEL nope WHERE class='car'", frames); err == nil {
 		t.Fatal("unknown model should error")
 	}
 	e.RegisterModel("m", oracleModel)
-	if _, err := e.Run("SELECT COUNT(detections) FROM (SELECT * FROM bdd USING FILTER nope) USING MODEL m", frames); err == nil {
+	if _, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM (SELECT * FROM bdd USING FILTER nope) USING MODEL m", frames); err == nil {
 		t.Fatal("unknown filter should error")
 	}
-	if _, err := e.Run("SELECT COUNT(detections) FROM bdd USING MODEL m WHERE color='red'", frames); err == nil {
+	if _, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM bdd USING MODEL m WHERE color='red'", frames); err == nil {
 		t.Fatal("unsupported predicate field should error")
 	}
-	if _, err := e.Run("SELECT COUNT(detections) FROM bdd USING MODEL m WHERE class='dragon'", frames); err == nil {
+	if _, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM bdd USING MODEL m WHERE class='dragon'", frames); err == nil {
 		t.Fatal("unknown class should error")
 	}
 }
@@ -224,7 +225,7 @@ func TestEngineScoreThreshold(t *testing.T) {
 	e := NewEngine()
 	e.MinScore = 0.3
 	e.RegisterModel("weak", lowScore)
-	res, err := e.Run("SELECT COUNT(detections) FROM bdd USING MODEL weak WHERE class='car'", frames)
+	res, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM bdd USING MODEL weak WHERE class='car'", frames)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,5 +301,104 @@ func TestParseWhitespaceRobust(t *testing.T) {
 	}
 	if !strings.Contains(q.String(), "COUNT(detections)") {
 		t.Fatalf("parse lost structure: %s", q.String())
+	}
+}
+
+// TestBatchModelMatchesPerFrame pins the batch dispatch path: a batch
+// binding must see exactly the live (unfiltered) frames, its results must
+// scatter back to input positions, and it must take precedence over a
+// per-frame binding of the same name.
+func TestBatchModelMatchesPerFrame(t *testing.T) {
+	frames := makeFrames(3, 24)
+	perFrame := NewEngine()
+	perFrame.RegisterModel("oracle", oracleModel)
+	batch := NewEngine()
+	// Shadowed per-frame binding returns garbage; batch must win.
+	batch.RegisterModel("oracle", func(f *synth.Frame) []detect.Detection { return nil })
+	var sawBatch int
+	batch.RegisterBatchModel("oracle", func(fs []*synth.Frame) [][]detect.Detection {
+		sawBatch = len(fs)
+		out := make([][]detect.Detection, len(fs))
+		for i, f := range fs {
+			out[i] = oracleModel(f)
+		}
+		return out
+	})
+	batch.RegisterFilter("alternating", func(f *synth.Frame) bool { return true })
+	perFrame.RegisterFilter("alternating", func(f *synth.Frame) bool { return true })
+
+	sql := "SELECT COUNT(detections) FROM bdd USING MODEL oracle WHERE class='car'"
+	want, err := perFrame.Run(context.Background(), sql, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := batch.Run(context.Background(), sql, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sawBatch != len(frames) {
+		t.Fatalf("batch model saw %d frames, want %d", sawBatch, len(frames))
+	}
+	if got.Count != want.Count || got.ModelFrames != want.ModelFrames {
+		t.Fatalf("batch result %+v, want %+v", got, want)
+	}
+	for i := range want.PerFrame {
+		if got.PerFrame[i] != want.PerFrame[i] {
+			t.Fatalf("per-frame count %d differs: %d vs %d", i, got.PerFrame[i], want.PerFrame[i])
+		}
+	}
+}
+
+// TestBatchModelSeesOnlyLiveFrames: filtered-out frames must not reach the
+// batch model, and their slots must report zero.
+func TestBatchModelSeesOnlyLiveFrames(t *testing.T) {
+	frames := makeFrames(4, 10)
+	e := NewEngine()
+	i := -1
+	e.RegisterFilter("odd", func(f *synth.Frame) bool { i++; return i%2 == 1 })
+	e.RegisterBatchModel("oracle", func(fs []*synth.Frame) [][]detect.Detection {
+		if len(fs) != 5 {
+			t.Fatalf("batch model saw %d frames, want 5", len(fs))
+		}
+		out := make([][]detect.Detection, len(fs))
+		for k, f := range fs {
+			out[k] = oracleModel(f)
+		}
+		return out
+	})
+	sql := "SELECT COUNT(detections) FROM (SELECT * FROM bdd USING FILTER odd) USING MODEL oracle WHERE class='car'"
+	res, err := e.Run(context.Background(), sql, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ModelFrames != 5 || res.FramesFiltered != 5 {
+		t.Fatalf("model frames %d filtered %d, want 5/5", res.ModelFrames, res.FramesFiltered)
+	}
+	for k := 0; k < len(frames); k += 2 {
+		if res.PerFrame[k] != 0 {
+			t.Fatalf("filtered frame %d reported %d detections", k, res.PerFrame[k])
+		}
+	}
+}
+
+// TestRunCancelledContext: a cancelled context aborts execution with the
+// context's error, for both per-frame and batch bindings.
+func TestRunCancelledContext(t *testing.T) {
+	frames := makeFrames(5, 8)
+	e := NewEngine()
+	e.RegisterModel("oracle", oracleModel)
+	e.RegisterBatchModel("batch", func(fs []*synth.Frame) [][]detect.Detection {
+		t.Fatal("batch model must not run under a cancelled context")
+		return nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, sql := range []string{
+		"SELECT COUNT(detections) FROM bdd USING MODEL oracle WHERE class='car'",
+		"SELECT COUNT(detections) FROM bdd USING MODEL batch WHERE class='car'",
+	} {
+		if _, err := e.Run(ctx, sql, frames); err != context.Canceled {
+			t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+		}
 	}
 }

@@ -13,8 +13,8 @@ func benchShapes() []struct{ m, k, n int } {
 	return []struct{ m, k, n int }{
 		{128, 128, 128},
 		{256, 256, 256},
-		{16, 27, 16384},  // conv2d 3→16ch 32×32 batch-16 forward
-		{64, 3072, 256},  // dense CIFAR batch-64 forward
+		{16, 27, 16384}, // conv2d 3→16ch 32×32 batch-16 forward
+		{64, 3072, 256}, // dense CIFAR batch-64 forward
 	}
 }
 

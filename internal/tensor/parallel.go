@@ -112,6 +112,35 @@ func Parallel(n, work int, fn func(start, end int)) {
 		fn(0, n)
 		return
 	}
+	dispatch(n, w, fn)
+}
+
+// ParallelWorkers is the frame-level sharding primitive of the streaming
+// pipeline: it runs fn over chunked subranges of [0, n) with the fan-out
+// capped at workers concurrent executors (the caller included), independent
+// of the global parallelism target and with no minimum-work gate — callers
+// use it when each index is a whole frame's worth of compute. Chunks are
+// claimed off the same persistent worker pool Parallel uses, so the
+// steady-state cost is one job allocation. fn must be safe to run
+// concurrently on disjoint ranges; which indices land on which worker is
+// unspecified, so determinism requires each index to write only its own
+// output slot.
+func ParallelWorkers(n, workers int, fn func(start, end int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	dispatch(n, workers, fn)
+}
+
+// dispatch fans fn out across w executors via the persistent worker pool.
+func dispatch(n, w int, fn func(start, end int)) {
 	ensureWorkers(w)
 
 	j := &job{fn: fn, n: n}

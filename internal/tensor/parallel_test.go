@@ -72,6 +72,63 @@ func TestParallelNested(t *testing.T) {
 	})
 }
 
+// TestParallelWorkersCoversRangeExactlyOnce: the bounded-fan-out variant
+// must visit every index exactly once regardless of the requested worker
+// count, including counts above GOMAXPROCS and above the global target.
+func TestParallelWorkersCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8, 33} {
+		const n = 5_000
+		hits := make([]int64, n)
+		ParallelWorkers(n, workers, func(start, end int) {
+			for i := start; i < end; i++ {
+				atomic.AddInt64(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestParallelWorkersSingleRunsInline: workers ≤ 1 must run on the calling
+// goroutine in order (no pool hand-off), like Parallel under the threshold.
+func TestParallelWorkersSingleRunsInline(t *testing.T) {
+	var order []int
+	ParallelWorkers(16, 1, func(start, end int) {
+		for i := start; i < end; i++ {
+			order = append(order, i)
+		}
+	})
+	if len(order) != 16 {
+		t.Fatalf("visited %d of 16", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("inline run out of order at %d: %v", i, v)
+		}
+	}
+	ParallelWorkers(0, 4, func(start, end int) { t.Fatal("fn must not run for empty ranges") })
+}
+
+// TestParallelWorkersNestedKernels: a sharded frame loop whose body calls
+// the kernel-level Parallel (the streaming pipeline's shape) must complete
+// without deadlock and cover all inner work.
+func TestParallelWorkersNestedKernels(t *testing.T) {
+	var total atomic.Int64
+	ParallelWorkers(8, 4, func(s, e int) {
+		for i := s; i < e; i++ {
+			Parallel(100, 1<<20, func(s2, e2 int) {
+				total.Add(int64(e2 - s2))
+			})
+		}
+	})
+	if got := total.Load(); got != 800 {
+		t.Fatalf("nested work covered %d of 800", got)
+	}
+}
+
 func TestParallelZeroAndNegative(t *testing.T) {
 	called := false
 	Parallel(0, 1<<20, func(start, end int) { called = true })

@@ -2,17 +2,27 @@
 // (Suprem et al., PVLDB 2020): automated drift detection and recovery for
 // video analytics. It wraps the internal DETECTOR / SPECIALIZER / SELECTOR
 // pipeline, the synthetic dash-cam substrate and the aggregation query
-// engine behind a small facade.
+// engine behind a concurrent service layer: a Server owns the bootstrapped
+// model substrate (DA-GAN projector, baseline detector, model manager,
+// cluster state) and vends per-camera Stream sessions that share it — so a
+// drift event recovered on one stream benefits every stream.
 //
 // Typical use:
 //
-//	sys, err := odin.New(odin.Options{Seed: 1})
-//	sys.Bootstrap(nil) // train DA-GAN + baseline on generated data
-//	for _, frame := range stream {
-//	    r := sys.Process(frame)
-//	    if r.Drift != nil { ... }
+//	srv, err := odin.New(odin.WithSeed(1), odin.WithPolicy(odin.PolicyDeltaBM))
+//	if err != nil { ... }
+//	if err := srv.Bootstrap(ctx, nil); err != nil { ... } // train DA-GAN + baseline
+//
+//	stream, err := srv.OpenStream(ctx, odin.StreamOptions{Name: "cam-0", Workers: 4})
+//	for res := range stream.Run(ctx, frames) { // sharded, results in frame order
+//	    if res.Drift != nil { ... }
 //	}
-//	out, err := sys.Query("SELECT COUNT(detections) FROM stream USING MODEL odin WHERE class='car'", frames)
+//
+//	out, err := srv.Query(ctx, "SELECT COUNT(detections) FROM stream USING MODEL odin WHERE class='car'", frames)
+//
+// Single frames can also be processed synchronously with Stream.Process.
+// The pre-Server blocking facade survives as the deprecated System shim
+// (see NewSystem).
 package odin
 
 import (
@@ -20,7 +30,6 @@ import (
 
 	"odin/internal/core"
 	"odin/internal/detect"
-	"odin/internal/gan"
 	"odin/internal/query"
 	"odin/internal/synth"
 )
@@ -35,6 +44,9 @@ type (
 	Detection = detect.Detection
 	// Result is the outcome of processing one frame.
 	Result = core.Result
+	// Stats is pipeline telemetry (frames, outliers, drift events,
+	// simulated throughput).
+	Stats = core.Stats
 	// Subset identifies one of the paper's five evaluation data subsets.
 	Subset = synth.Subset
 	// Domain is a (time-of-day, weather, location) environment condition.
@@ -61,177 +73,65 @@ const (
 	ClassSign         = synth.ClassSign
 )
 
-// Options configures a System.
-type Options struct {
-	// Seed drives all randomness; equal seeds give identical systems.
-	Seed uint64
+// Policy selects the SELECTOR's model-ensemble policy (§5.3).
+type Policy int
 
-	// BootstrapFrames is the number of held-out frames used to train the
-	// DA-GAN projection and the baseline detector (default 600).
-	BootstrapFrames int
-	// BootstrapEpochs is the DA-GAN epoch budget (default 8).
-	BootstrapEpochs int
-	// BaselineEpochs is the baseline detector epoch budget (default 40).
-	BaselineEpochs int
+// Selection policies.
+const (
+	// PolicyDeltaBM runs the models of every cluster whose ∆-band contains
+	// the frame, falling back to KNN-W outside all bands (the default).
+	PolicyDeltaBM Policy = iota
+	// PolicyKNNU runs the k nearest models, unweighted.
+	PolicyKNNU
+	// PolicyKNNW runs the k nearest models, weighted inversely to distance.
+	PolicyKNNW
+	// PolicyMostRecent always runs the most recently trained model (the
+	// "-SELECTOR" ablation).
+	PolicyMostRecent
+)
 
-	// MaxModels caps resident specialized models; 0 = unlimited.
-	MaxModels int
-	// DriftRecovery disables the drift pipeline when false (static mode).
-	DriftRecovery *bool
-
-	// Policy selects the model-selection policy: "delta-bm" (default),
-	// "knn-u", "knn-w" or "most-recent".
-	Policy string
+// String returns the policy's CLI name (the form ParsePolicy accepts).
+func (p Policy) String() string {
+	switch p {
+	case PolicyDeltaBM:
+		return "delta-bm"
+	case PolicyKNNU:
+		return "knn-u"
+	case PolicyKNNW:
+		return "knn-w"
+	case PolicyMostRecent:
+		return "most-recent"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
 }
 
-// System is a running ODIN instance.
-type System struct {
-	opts  Options
-	scene synth.SceneConfig
-	gen   *synth.SceneGen
-
-	pipeline *core.Odin
-	engine   *query.Engine
-	booted   bool
-}
-
-// New creates a System. Call Bootstrap before Process or Query.
-func New(opts Options) (*System, error) {
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
-	if opts.BootstrapFrames <= 0 {
-		opts.BootstrapFrames = 600
-	}
-	if opts.BootstrapEpochs <= 0 {
-		opts.BootstrapEpochs = 8
-	}
-	if opts.BaselineEpochs <= 0 {
-		opts.BaselineEpochs = 40
-	}
-	switch opts.Policy {
-	case "", "delta-bm", "knn-u", "knn-w", "most-recent":
-	default:
-		return nil, fmt.Errorf("odin: unknown policy %q", opts.Policy)
-	}
-	scene := synth.DefaultSceneConfig()
-	return &System{
-		opts:  opts,
-		scene: scene,
-		gen:   synth.NewSceneGen(opts.Seed, scene),
-	}, nil
-}
-
-// GenerateFrames renders frames from a subset's domain distribution — the
-// synthetic stand-in for reading dash-cam video (see DESIGN.md §1).
-func (s *System) GenerateFrames(sub Subset, n int) []*Frame {
-	return s.gen.Dataset(sub, n)
-}
-
-// Bootstrap trains the DA-GAN projection and the heavyweight baseline
-// detector. When boot is nil, bootstrap frames are generated from the full
-// domain distribution (the paper trains on a held-out unlabeled split).
-func (s *System) Bootstrap(boot []*Frame) error {
-	if s.booted {
-		return fmt.Errorf("odin: system already bootstrapped")
-	}
-	if boot == nil {
-		boot = s.gen.Dataset(synth.FullData, s.opts.BootstrapFrames)
-	}
-	enc := core.DownsampleEncoder(2)
-	dgCfg := gan.Config{
-		InputDim: core.EncodedDim(s.scene, 2),
-		Latent:   16,
-		Hidden:   []int{128, 48},
-		LR:       0.001,
-		Seed:     s.opts.Seed + 7,
-	}
-	dagan := core.TrainDAGAN(boot, enc, dgCfg, s.opts.BootstrapEpochs, 32)
-
-	baseCfg := detect.YOLOConfig(s.scene.H, s.scene.W)
-	baseCfg.Seed = s.opts.Seed + 9
-	baseline := detect.NewGridDetector(baseCfg)
-	baseline.Fit(detect.SamplesFromFrames(boot), s.opts.BaselineEpochs, 16)
-
-	cfg := core.DefaultConfig(s.scene)
-	cfg.Cluster.MaxClusters = s.opts.MaxModels
-	if s.opts.DriftRecovery != nil {
-		cfg.DriftRecovery = *s.opts.DriftRecovery
-	}
-	switch s.opts.Policy {
+// ParsePolicy maps a CLI string ("delta-bm", "knn-u", "knn-w",
+// "most-recent"; empty means the default) to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "delta-bm":
+		return PolicyDeltaBM, nil
 	case "knn-u":
-		cfg.Selector.Policy = core.PolicyKNNU
+		return PolicyKNNU, nil
 	case "knn-w":
-		cfg.Selector.Policy = core.PolicyKNNW
+		return PolicyKNNW, nil
 	case "most-recent":
-		cfg.Selector.Policy = core.PolicyMostRecent
+		return PolicyMostRecent, nil
 	}
-	s.pipeline = core.New(cfg, dagan, baseline)
-
-	s.engine = query.NewEngine()
-	s.engine.RegisterModel("odin", func(f *Frame) []Detection {
-		return s.pipeline.Process(f).Detections
-	})
-	s.engine.RegisterModel("yolo", func(f *Frame) []Detection {
-		return baseline.Detect(f.Image)
-	})
-	s.booted = true
-	return nil
+	return PolicyDeltaBM, fmt.Errorf("odin: unknown policy %q", s)
 }
 
-// Process runs one frame through the drift-aware pipeline.
-func (s *System) Process(f *Frame) Result {
-	s.mustBoot()
-	return s.pipeline.Process(f)
-}
-
-// Query parses and executes an aggregation query over frames. The built-in
-// model names are "odin" (drift-aware pipeline) and "yolo" (static
-// baseline); more can be added with RegisterModel / RegisterFilter.
-func (s *System) Query(sql string, frames []*Frame) (*QueryResult, error) {
-	s.mustBoot()
-	return s.engine.Run(sql, frames)
-}
-
-// RegisterModel binds a custom detection model for USING MODEL clauses.
-func (s *System) RegisterModel(name string, fn func(*Frame) []Detection) {
-	s.mustBoot()
-	s.engine.RegisterModel(name, fn)
-}
-
-// RegisterFilter binds a custom frame pre-screen for USING FILTER clauses.
-func (s *System) RegisterFilter(name string, fn func(*Frame) bool) {
-	s.mustBoot()
-	s.engine.RegisterFilter(name, fn)
-}
-
-// Stats returns pipeline telemetry (frames, outliers, drift events,
-// simulated throughput).
-func (s *System) Stats() core.Stats {
-	s.mustBoot()
-	return s.pipeline.Stats()
-}
-
-// MemoryMB returns the simulated resident model memory.
-func (s *System) MemoryMB() float64 {
-	s.mustBoot()
-	return s.pipeline.MemoryMB()
-}
-
-// NumClusters returns the number of discovered concept clusters.
-func (s *System) NumClusters() int {
-	s.mustBoot()
-	return len(s.pipeline.Detector.Clusters.Permanent)
-}
-
-// NumModels returns the number of resident specialized models.
-func (s *System) NumModels() int {
-	s.mustBoot()
-	return s.pipeline.Manager.NumModels()
-}
-
-func (s *System) mustBoot() {
-	if !s.booted {
-		panic("odin: call Bootstrap before using the system")
+// corePolicy maps the public constant to the internal selector policy.
+func (p Policy) corePolicy() (core.Policy, error) {
+	switch p {
+	case PolicyDeltaBM:
+		return core.PolicyDeltaBM, nil
+	case PolicyKNNU:
+		return core.PolicyKNNU, nil
+	case PolicyKNNW:
+		return core.PolicyKNNW, nil
+	case PolicyMostRecent:
+		return core.PolicyMostRecent, nil
 	}
+	return core.PolicyDeltaBM, fmt.Errorf("odin: invalid policy %v", int(p))
 }

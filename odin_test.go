@@ -1,32 +1,100 @@
 package odin
 
 import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
-// fastOptions keeps the public-API tests quick.
+// fastServerOptions keeps the public-API tests quick.
+func fastServerOptions(seed uint64) []Option {
+	return []Option{
+		WithSeed(seed),
+		WithBootstrapFrames(80),
+		WithBootstrapEpochs(1),
+		WithBaselineEpochs(2),
+	}
+}
+
+// fastOptions is the legacy-shim equivalent of fastServerOptions.
 func fastOptions() Options {
 	return Options{Seed: 3, BootstrapFrames: 80, BootstrapEpochs: 1, BaselineEpochs: 2}
 }
 
-func TestNewValidatesPolicy(t *testing.T) {
-	if _, err := New(Options{Policy: "turbo"}); err == nil {
+// sharedSrv is one bootstrapped server reused by the tests that only read
+// it (queries, error paths, stream smoke tests). Tests that mutate drift
+// state in ways they assert on build their own server instead.
+var (
+	sharedSrv  *Server
+	sharedOnce sync.Once
+	sharedErr  error
+)
+
+func sharedServer(t *testing.T) *Server {
+	t.Helper()
+	sharedOnce.Do(func() {
+		sharedSrv, sharedErr = New(fastServerOptions(3)...)
+		if sharedErr == nil {
+			sharedErr = sharedSrv.Bootstrap(context.Background(), nil)
+		}
+	})
+	if sharedErr != nil {
+		t.Fatalf("shared server: %v", sharedErr)
+	}
+	return sharedSrv
+}
+
+func TestOptionValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"zero seed", WithSeed(0)},
+		{"neg frames", WithBootstrapFrames(-1)},
+		{"zero epochs", WithBootstrapEpochs(0)},
+		{"neg baseline", WithBaselineEpochs(-2)},
+		{"neg models", WithMaxModels(-1)},
+		{"neg workers", WithWorkers(-4)},
+		{"bad policy", WithPolicy(Policy(99))},
+	}
+	for _, c := range cases {
+		if _, err := New(c.opt); err == nil {
+			t.Errorf("%s: New should reject the option", c.name)
+		}
+	}
+	if _, err := New(fastServerOptions(1)...); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+}
+
+func TestPolicyRoundTrip(t *testing.T) {
+	if _, err := ParsePolicy("turbo"); err == nil {
 		t.Fatal("unknown policy should error")
 	}
-	for _, p := range []string{"", "delta-bm", "knn-u", "knn-w", "most-recent"} {
-		if _, err := New(Options{Policy: p}); err != nil {
-			t.Fatalf("policy %q should be accepted: %v", p, err)
+	for _, s := range []string{"delta-bm", "knn-u", "knn-w", "most-recent"} {
+		p, err := ParsePolicy(s)
+		if err != nil {
+			t.Fatalf("policy %q should parse: %v", s, err)
 		}
+		if p.String() != s {
+			t.Fatalf("round trip %q -> %v", s, p)
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != PolicyDeltaBM {
+		t.Fatalf("empty policy should default to delta-bm, got %v, %v", p, err)
 	}
 }
 
 func TestGenerateFrames(t *testing.T) {
-	sys, err := New(fastOptions())
+	srv, err := New(fastServerOptions(3)...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	frames := sys.GenerateFrames(DayData, 5)
+	frames := srv.GenerateFrames(DayData, 5)
 	if len(frames) != 5 {
 		t.Fatalf("got %d frames", len(frames))
 	}
@@ -37,16 +105,357 @@ func TestGenerateFrames(t *testing.T) {
 	}
 }
 
-func TestBootstrapProcessQuery(t *testing.T) {
-	sys, err := New(fastOptions())
+func TestLifecycleErrors(t *testing.T) {
+	srv, err := New(fastServerOptions(5)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Everything that needs models reports ErrNotBootstrapped, not a panic.
+	if _, err := srv.OpenStream(ctx, StreamOptions{}); !errors.Is(err, ErrNotBootstrapped) {
+		t.Fatalf("OpenStream before Bootstrap: %v", err)
+	}
+	if _, err := srv.Query(ctx, "SELECT COUNT(detections) FROM s USING MODEL yolo WHERE class='car'", nil); !errors.Is(err, ErrNotBootstrapped) {
+		t.Fatalf("Query before Bootstrap: %v", err)
+	}
+	if srv.Stats() != (Stats{}) || srv.MemoryMB() != 0 || srv.NumClusters() != 0 || srv.NumModels() != 0 {
+		t.Fatal("telemetry should be zero before Bootstrap")
+	}
+
+	if err := srv.Bootstrap(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bootstrap(ctx, nil); !errors.Is(err, ErrAlreadyBootstrapped) {
+		t.Fatalf("double Bootstrap: %v", err)
+	}
+
+	st, err := srv.OpenStream(ctx, StreamOptions{Name: "cam-0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name() != "cam-0" {
+		t.Fatalf("stream name %q", st.Name())
+	}
+	f := srv.GenerateFrames(DayData, 1)[0]
+	if _, err := st.Process(ctx, f); err != nil {
+		t.Fatalf("Process: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Process(ctx, f); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("Process on closed stream: %v", err)
+	}
+
+	st2, err := srv.OpenStream(ctx, StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.OpenStream(ctx, StreamOptions{}); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("OpenStream after Close: %v", err)
+	}
+	// Run on a stream of a closed server returns an already-closed channel.
+	if _, ok := <-st2.Run(ctx, make(chan *Frame)); ok {
+		t.Fatal("Run after server Close should return a closed channel")
+	}
+	if _, err := srv.Query(ctx, "SELECT COUNT(detections) FROM s USING MODEL yolo WHERE class='car'", nil); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Query after Close: %v", err)
+	}
+	if err := srv.Bootstrap(ctx, nil); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Bootstrap after Close: %v", err)
+	}
+}
+
+func TestBootstrapHonoursCancelledContext(t *testing.T) {
+	srv, err := New(fastServerOptions(6)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := srv.Bootstrap(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Bootstrap: %v", err)
+	}
+	// The failed attempt must not count as bootstrapped.
+	if err := srv.Bootstrap(context.Background(), nil); err != nil {
+		t.Fatalf("Bootstrap after cancelled attempt: %v", err)
+	}
+}
+
+// driftStream returns a deterministic 3-phase drifting stream drawn from
+// srv's seeded generator: night, then day, then snow — enough distribution
+// shift to exercise outliers, cluster births, and drift events.
+func driftStream(srv *Server, perPhase int) []*Frame {
+	var out []*Frame
+	for _, sub := range []Subset{NightData, DayData, SnowData} {
+		out = append(out, srv.GenerateFrames(sub, perPhase)...)
+	}
+	return out
+}
+
+// TestRunMatchesSequentialProcess is the facade-level determinism
+// guarantee: sharded Run at 1, 4 and 8 workers yields results identical to
+// sequential Process on an identically seeded server — detections, cluster
+// assignments, drift events and stats. Run under -race in CI.
+func TestRunMatchesSequentialProcess(t *testing.T) {
+	const seed, perPhase = 11, 60
+
+	// Reference: sequential Process on its own server.
+	ref, err := New(fastServerOptions(seed)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Bootstrap(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	frames := driftStream(ref, perPhase)
+	st, err := ref.OpenStream(context.Background(), StreamOptions{Name: "seq"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(frames))
+	for i, f := range frames {
+		r, err := st.Process(context.Background(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r.Fingerprint()
+	}
+	wantStats := ref.Stats()
+	if wantStats.DriftEvents == 0 {
+		t.Fatal("drift stream produced no drift events; the determinism test would be vacuous")
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			srv, err := New(fastServerOptions(seed)...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := srv.Bootstrap(context.Background(), nil); err != nil {
+				t.Fatal(err)
+			}
+			frames := driftStream(srv, perPhase)
+			stream, err := srv.OpenStream(context.Background(), StreamOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := make(chan *Frame)
+			go func() {
+				defer close(in)
+				for _, f := range frames {
+					in <- f
+				}
+			}()
+			got := 0
+			for res := range stream.Run(context.Background(), in) {
+				if res.Seq != got {
+					t.Fatalf("out-of-order result: seq %d at position %d", res.Seq, got)
+				}
+				if res.Frame != frames[got] {
+					t.Fatalf("result %d carries the wrong frame", got)
+				}
+				if key := res.Fingerprint(); key != want[got] {
+					t.Fatalf("frame %d diverged from sequential:\n got %s\nwant %s", got, key, want[got])
+				}
+				got++
+			}
+			if got != len(frames) {
+				t.Fatalf("received %d/%d results", got, len(frames))
+			}
+			if stats := srv.Stats(); !reflect.DeepEqual(stats, wantStats) {
+				t.Fatalf("stats diverged: got %+v want %+v", stats, wantStats)
+			}
+		})
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	srv := sharedServer(t)
+	stream, err := srv.OpenStream(context.Background(), StreamOptions{Workers: 2, MaxBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan *Frame)
+	frames := srv.GenerateFrames(DayData, 8)
+	out := stream.Run(ctx, in)
+
+	// Deliver one frame, read its result, then cancel: the result channel
+	// must close without the producer blocking forever.
+	in <- frames[0]
+	if _, ok := <-out; !ok {
+		t.Fatal("first result missing")
+	}
+	cancel()
+	for range out { // drain whatever was in flight; must terminate
+	}
+}
+
+func TestRunExitsWhenStreamCloses(t *testing.T) {
+	srv := sharedServer(t)
+	stream, err := srv.OpenStream(context.Background(), StreamOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make(chan *Frame)
+	out := stream.Run(context.Background(), in)
+	in <- srv.GenerateFrames(DayData, 1)[0]
+	if _, ok := <-out; !ok {
+		t.Fatal("first result missing")
+	}
+	stream.Close()
+	// The Run loop observes the closed stream on its next window; the
+	// result channel must close even though `in` stays open.
+	for range out {
+	}
+}
+
+func TestQueryContextCancellation(t *testing.T) {
+	srv := sharedServer(t)
+	frames := srv.GenerateFrames(DayData, 6)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.Query(ctx, "SELECT COUNT(detections) FROM s USING MODEL yolo WHERE class='car'", frames); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Query: %v", err)
+	}
+}
+
+func TestQueryOverOdinAndYolo(t *testing.T) {
+	srv := sharedServer(t)
+	frames := srv.GenerateFrames(DayData, 10)
+	for _, model := range []string{"odin", "yolo"} {
+		out, err := srv.Query(context.Background(),
+			"SELECT COUNT(detections) FROM stream USING MODEL "+model+" WHERE class='car'", frames)
+		if err != nil {
+			t.Fatalf("model %s: %v", model, err)
+		}
+		if out.FramesScanned != 10 {
+			t.Fatalf("model %s scanned %d", model, out.FramesScanned)
+		}
+	}
+	if _, err := srv.Query(context.Background(), "SELECT bogus FROM", frames); err == nil {
+		t.Fatal("bad SQL should error")
+	}
+}
+
+func TestRegisterCustomModel(t *testing.T) {
+	srv := sharedServer(t)
+	srv.RegisterModel("oracle", func(f *Frame) []Detection {
+		out := make([]Detection, len(f.Boxes))
+		for i, b := range f.Boxes {
+			out[i] = Detection{Box: b, Score: 1}
+		}
+		return out
+	})
+	frames := srv.GenerateFrames(DayData, 5)
+	out, err := srv.Query(context.Background(), "SELECT COUNT(detections) FROM s USING MODEL oracle WHERE class='car'", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0
+	for _, f := range frames {
+		for _, b := range f.Boxes {
+			if b.Class == ClassCar {
+				want++
+			}
+		}
+	}
+	if out.Count != want {
+		t.Fatalf("oracle count %d, want %d", out.Count, want)
+	}
+}
+
+func TestConcurrentStreamsShareServer(t *testing.T) {
+	srv, err := New(fastServerOptions(13)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bootstrap(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	const cams, perCam = 3, 30
+	camFrames := make([][]*Frame, cams)
+	subsets := []Subset{NightData, DayData, SnowData}
+	for c := range camFrames {
+		camFrames[c] = srv.GenerateFrames(subsets[c], perCam)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < cams; c++ {
+		st, err := srv.OpenStream(context.Background(), StreamOptions{Name: fmt.Sprintf("cam-%d", c), Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(st *Stream, frames []*Frame) {
+			defer wg.Done()
+			in := make(chan *Frame)
+			go func() {
+				defer close(in)
+				for _, f := range frames {
+					in <- f
+				}
+			}()
+			n := 0
+			for res := range st.Run(context.Background(), in) {
+				if len(res.ModelsUsed) == 0 {
+					t.Errorf("%s: frame %d served by no model", st.Name(), res.Seq)
+				}
+				n++
+			}
+			if n != perCam {
+				t.Errorf("%s: got %d/%d results", st.Name(), n, perCam)
+			}
+		}(st, camFrames[c])
+	}
+	wg.Wait()
+	if got := srv.Stats().Frames; got != cams*perCam {
+		t.Fatalf("server saw %d frames, want %d", got, cams*perCam)
+	}
+}
+
+func TestStaticMode(t *testing.T) {
+	srv, err := New(append(fastServerOptions(7), WithDriftRecovery(false))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bootstrap(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	st, err := srv.OpenStream(context.Background(), StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range srv.GenerateFrames(NightData, 5) {
+		r, err := st.Process(context.Background(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(r.ModelsUsed, ",") != "YOLO" {
+			t.Fatalf("static mode used %v", r.ModelsUsed)
+		}
+	}
+	if srv.NumClusters() != 0 || srv.NumModels() != 0 {
+		t.Fatal("static mode must not build clusters or models")
+	}
+}
+
+// --- legacy System shim ---
+
+func TestSystemShimLifecycle(t *testing.T) {
+	sys, err := NewSystem(fastOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.Bootstrap(nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := sys.Bootstrap(nil); err == nil {
-		t.Fatal("double bootstrap should error")
+	if err := sys.Bootstrap(nil); !errors.Is(err, ErrAlreadyBootstrapped) {
+		t.Fatalf("double bootstrap: %v", err)
 	}
 
 	frames := sys.GenerateFrames(DayData, 10)
@@ -70,76 +479,28 @@ func TestBootstrapProcessQuery(t *testing.T) {
 	if out.FramesScanned != 10 {
 		t.Fatalf("scanned %d", out.FramesScanned)
 	}
+	if sys.Server() == nil {
+		t.Fatal("shim should expose its Server")
+	}
+	_ = sys.NumClusters()
+	_ = sys.NumModels()
+}
 
-	if _, err := sys.Query("SELECT bogus FROM", frames); err == nil {
-		t.Fatal("bad SQL should error")
+func TestSystemShimRejectsBadPolicy(t *testing.T) {
+	if _, err := NewSystem(Options{Policy: "turbo"}); err == nil {
+		t.Fatal("unknown policy should error")
 	}
 }
 
-func TestStaticMode(t *testing.T) {
-	off := false
-	opts := fastOptions()
-	opts.DriftRecovery = &off
-	sys, err := New(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.Bootstrap(nil); err != nil {
-		t.Fatal(err)
-	}
-	for _, f := range sys.GenerateFrames(NightData, 5) {
-		r := sys.Process(f)
-		if strings.Join(r.ModelsUsed, ",") != "YOLO" {
-			t.Fatalf("static mode used %v", r.ModelsUsed)
-		}
-	}
-	if sys.NumClusters() != 0 || sys.NumModels() != 0 {
-		t.Fatal("static mode must not build clusters or models")
-	}
-}
-
-func TestMustBootstrapPanics(t *testing.T) {
-	sys, err := New(fastOptions())
+func TestSystemShimProcessPanicsBeforeBootstrap(t *testing.T) {
+	sys, err := NewSystem(fastOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer func() {
 		if recover() == nil {
-			t.Fatal("Process before Bootstrap should panic")
+			t.Fatal("System.Process before Bootstrap should keep the legacy panic contract")
 		}
 	}()
 	sys.Process(sys.GenerateFrames(DayData, 1)[0])
-}
-
-func TestRegisterCustomModel(t *testing.T) {
-	sys, err := New(fastOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := sys.Bootstrap(nil); err != nil {
-		t.Fatal(err)
-	}
-	sys.RegisterModel("oracle", func(f *Frame) []Detection {
-		out := make([]Detection, len(f.Boxes))
-		for i, b := range f.Boxes {
-			out[i] = Detection{Box: b, Score: 1}
-		}
-		return out
-	})
-	frames := sys.GenerateFrames(DayData, 5)
-	out, err := sys.Query("SELECT COUNT(detections) FROM s USING MODEL oracle WHERE class='car'", frames)
-	if err != nil {
-		t.Fatal(err)
-	}
-	want := 0
-	for _, f := range frames {
-		for _, b := range f.Boxes {
-			if b.Class == ClassCar {
-				want++
-			}
-		}
-	}
-	if out.Count != want {
-		t.Fatalf("oracle count %d, want %d", out.Count, want)
-	}
 }

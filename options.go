@@ -1,0 +1,131 @@
+package odin
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// config is the resolved Server configuration. Options validate eagerly so
+// New can reject a bad configuration before any training happens.
+type config struct {
+	seed            uint64
+	bootstrapFrames int
+	bootstrapEpochs int
+	baselineEpochs  int
+	maxModels       int
+	driftRecovery   bool
+	policy          Policy
+	workers         int
+}
+
+func defaultConfig() config {
+	return config{
+		seed:            1,
+		bootstrapFrames: 600,
+		bootstrapEpochs: 8,
+		baselineEpochs:  40,
+		maxModels:       0,
+		driftRecovery:   true,
+		policy:          PolicyDeltaBM,
+		workers:         runtime.GOMAXPROCS(0),
+	}
+}
+
+// Option configures a Server at construction time.
+type Option func(*config) error
+
+// WithSeed sets the seed driving all randomness; equal seeds give
+// identical servers. The seed must be non-zero.
+func WithSeed(seed uint64) Option {
+	return func(c *config) error {
+		if seed == 0 {
+			return fmt.Errorf("odin: seed must be non-zero")
+		}
+		c.seed = seed
+		return nil
+	}
+}
+
+// WithBootstrapFrames sets the number of held-out frames used to train the
+// DA-GAN projection and the baseline detector (default 600).
+func WithBootstrapFrames(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("odin: bootstrap frames must be positive, got %d", n)
+		}
+		c.bootstrapFrames = n
+		return nil
+	}
+}
+
+// WithBootstrapEpochs sets the DA-GAN epoch budget (default 8).
+func WithBootstrapEpochs(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("odin: bootstrap epochs must be positive, got %d", n)
+		}
+		c.bootstrapEpochs = n
+		return nil
+	}
+}
+
+// WithBaselineEpochs sets the baseline detector epoch budget (default 40).
+func WithBaselineEpochs(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("odin: baseline epochs must be positive, got %d", n)
+		}
+		c.baselineEpochs = n
+		return nil
+	}
+}
+
+// WithMaxModels caps resident specialized models; 0 (the default) means
+// unlimited. When the cap is exceeded the smallest cluster is evicted
+// (§6.5 "Model Count Threshold").
+func WithMaxModels(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("odin: max models must be non-negative, got %d", n)
+		}
+		c.maxModels = n
+		return nil
+	}
+}
+
+// WithDriftRecovery toggles the DETECTOR/SPECIALIZER/SELECTOR stack.
+// Disabled, the heavyweight baseline serves every frame — the paper's
+// "static system" comparison point.
+func WithDriftRecovery(on bool) Option {
+	return func(c *config) error {
+		c.driftRecovery = on
+		return nil
+	}
+}
+
+// WithPolicy selects the SELECTOR policy (default PolicyDeltaBM).
+func WithPolicy(p Policy) Option {
+	return func(c *config) error {
+		if _, err := p.corePolicy(); err != nil {
+			return err
+		}
+		c.policy = p
+		return nil
+	}
+}
+
+// WithWorkers sets the server-wide default fan-out for sharded stream
+// processing and query execution; StreamOptions.Workers overrides it per
+// stream. 0 (the default) resolves to GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("odin: workers must be non-negative, got %d", n)
+		}
+		if n == 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		c.workers = n
+		return nil
+	}
+}

@@ -1,0 +1,296 @@
+package odin
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"odin/internal/core"
+	"odin/internal/detect"
+	"odin/internal/gan"
+	"odin/internal/query"
+	"odin/internal/synth"
+)
+
+// Sentinel errors of the service layer. They replace the former panic
+// paths of the one-shot System facade.
+var (
+	// ErrNotBootstrapped is returned when a method that needs trained
+	// models runs before Bootstrap.
+	ErrNotBootstrapped = errors.New("odin: server not bootstrapped (call Bootstrap first)")
+	// ErrAlreadyBootstrapped is returned by a second Bootstrap call.
+	ErrAlreadyBootstrapped = errors.New("odin: server already bootstrapped")
+	// ErrServerClosed is returned after Close.
+	ErrServerClosed = errors.New("odin: server closed")
+	// ErrStreamClosed is returned by operations on a closed Stream.
+	ErrStreamClosed = errors.New("odin: stream closed")
+)
+
+// Server is a running ODIN service instance. It owns the bootstrapped
+// model substrate — the DA-GAN projector, the heavyweight baseline, the
+// model manager and the cluster state — and vends per-camera Stream
+// sessions via OpenStream. All methods are safe for concurrent use.
+//
+// Concurrency: the per-frame inference path (projection and detection) is
+// lock-free and shared; the mutating drift path (cluster assignment,
+// outlier buffering, specializer training) is serialized behind a single
+// synchronization point inside the core pipeline. N streams therefore
+// share one model set, and a drift event recovered on one stream
+// immediately serves all of them. See DESIGN.md §5.
+type Server struct {
+	cfg   config
+	scene synth.SceneConfig
+
+	genMu sync.Mutex
+	gen   *synth.SceneGen
+
+	mu       sync.Mutex
+	pipeline *core.Odin
+	engine   *query.Engine
+	baseline *detect.GridDetector
+	booting  bool // a Bootstrap is training outside the lock
+	booted   bool
+	closed   bool
+}
+
+// New creates a Server from functional options. The server owns no trained
+// models yet; call Bootstrap before opening streams or running queries.
+func New(opts ...Option) (*Server, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	scene := synth.DefaultSceneConfig()
+	return &Server{
+		cfg:    cfg,
+		scene:  scene,
+		gen:    synth.NewSceneGen(cfg.seed, scene),
+		engine: query.NewEngine(),
+	}, nil
+}
+
+// GenerateFrames renders frames from a subset's domain distribution — the
+// synthetic stand-in for reading dash-cam video (see DESIGN.md §1). Safe
+// for concurrent use; concurrent callers draw from one seeded sequence.
+func (s *Server) GenerateFrames(sub Subset, n int) []*Frame {
+	s.genMu.Lock()
+	defer s.genMu.Unlock()
+	return s.gen.Dataset(sub, n)
+}
+
+// Bootstrap trains the DA-GAN projection and the heavyweight baseline
+// detector, then assembles the drift pipeline. When boot is nil, bootstrap
+// frames are generated from the full domain distribution (the paper trains
+// on a held-out unlabeled split). The context is consulted between
+// training phases; a second call — including one that overlaps a Bootstrap
+// still training — returns ErrAlreadyBootstrapped. Training runs outside
+// the server lock, so other methods stay responsive (and report
+// ErrNotBootstrapped) while it is in progress.
+func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	switch {
+	case s.closed:
+		s.mu.Unlock()
+		return ErrServerClosed
+	case s.booted, s.booting:
+		s.mu.Unlock()
+		return ErrAlreadyBootstrapped
+	}
+	s.booting = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.booting = false
+		s.mu.Unlock()
+	}()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if boot == nil {
+		s.genMu.Lock()
+		boot = s.gen.Dataset(synth.FullData, s.cfg.bootstrapFrames)
+		s.genMu.Unlock()
+	}
+
+	enc := core.DownsampleEncoder(2)
+	dgCfg := gan.Config{
+		InputDim: core.EncodedDim(s.scene, 2),
+		Latent:   16,
+		Hidden:   []int{128, 48},
+		LR:       0.001,
+		Seed:     s.cfg.seed + 7,
+	}
+	dagan := core.TrainDAGAN(boot, enc, dgCfg, s.cfg.bootstrapEpochs, 32)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	baseCfg := detect.YOLOConfig(s.scene.H, s.scene.W)
+	baseCfg.Seed = s.cfg.seed + 9
+	baseline := detect.NewGridDetector(baseCfg)
+	baseline.Fit(detect.SamplesFromFrames(boot), s.cfg.baselineEpochs, 16)
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	cfg := core.DefaultConfig(s.scene)
+	cfg.Cluster.MaxClusters = s.cfg.maxModels
+	cfg.DriftRecovery = s.cfg.driftRecovery
+	cfg.Selector.Policy, _ = s.cfg.policy.corePolicy() // validated by WithPolicy
+	pipeline := core.New(cfg, dagan, baseline)
+
+	// Built-in query models: the drift-aware pipeline (sharded + batched)
+	// and the static baseline (batched forward pass).
+	workers := s.cfg.workers
+	s.engine.RegisterBatchModel("odin", func(frames []*synth.Frame) [][]detect.Detection {
+		results := pipeline.ProcessBatch(frames, workers)
+		dets := make([][]detect.Detection, len(results))
+		for i, r := range results {
+			dets[i] = r.Detections
+		}
+		return dets
+	})
+	s.engine.RegisterBatchModel("yolo", func(frames []*synth.Frame) [][]detect.Detection {
+		imgs := make([]*synth.Image, len(frames))
+		for i, f := range frames {
+			imgs[i] = f.Image
+		}
+		return baseline.DetectBatch(imgs)
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed { // Close landed while training
+		return ErrServerClosed
+	}
+	s.pipeline = pipeline
+	s.baseline = baseline
+	s.booted = true
+	return nil
+}
+
+// pipe returns the live pipeline or the reason there is none.
+func (s *Server) pipe() (*core.Odin, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case s.closed:
+		return nil, ErrServerClosed
+	case !s.booted:
+		return nil, ErrNotBootstrapped
+	}
+	return s.pipeline, nil
+}
+
+// OpenStream opens a processing session for one camera stream. Streams
+// share the server's model set; Workers bounds the session's sharded
+// fan-out. Returns ErrNotBootstrapped before Bootstrap.
+func (s *Server) OpenStream(ctx context.Context, o StreamOptions) (*Stream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if _, err := s.pipe(); err != nil {
+		return nil, err
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = s.cfg.workers
+	}
+	maxBatch := o.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 4 * workers
+		if maxBatch < 8 {
+			maxBatch = 8
+		}
+	}
+	buffer := o.Buffer
+	if buffer <= 0 {
+		buffer = maxBatch
+	}
+	return &Stream{
+		srv:      s,
+		name:     o.Name,
+		workers:  workers,
+		maxBatch: maxBatch,
+		buffer:   buffer,
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Query parses and executes an aggregation query over frames. The built-in
+// model names are "odin" (drift-aware pipeline, sharded across the
+// server's worker budget) and "yolo" (static baseline, batched); more can
+// be added with RegisterModel / RegisterFilter. The context cancels
+// execution between model invocations.
+func (s *Server) Query(ctx context.Context, sql string, frames []*Frame) (*QueryResult, error) {
+	if _, err := s.pipe(); err != nil {
+		return nil, err
+	}
+	return s.engine.Run(ctx, sql, frames)
+}
+
+// RegisterModel binds a custom per-frame detection model for USING MODEL
+// clauses. May be called before Bootstrap.
+func (s *Server) RegisterModel(name string, fn func(*Frame) []Detection) {
+	s.engine.RegisterModel(name, fn)
+}
+
+// RegisterFilter binds a custom frame pre-screen for USING FILTER clauses.
+// May be called before Bootstrap.
+func (s *Server) RegisterFilter(name string, fn func(*Frame) bool) {
+	s.engine.RegisterFilter(name, fn)
+}
+
+// Stats returns pipeline telemetry. Before Bootstrap it is zero.
+func (s *Server) Stats() Stats {
+	p, err := s.pipe()
+	if err != nil {
+		return Stats{}
+	}
+	return p.Stats()
+}
+
+// MemoryMB returns the simulated resident model memory (0 before
+// Bootstrap).
+func (s *Server) MemoryMB() float64 {
+	p, err := s.pipe()
+	if err != nil {
+		return 0
+	}
+	return p.MemoryMB()
+}
+
+// NumClusters returns the number of discovered concept clusters.
+func (s *Server) NumClusters() int {
+	p, err := s.pipe()
+	if err != nil {
+		return 0
+	}
+	return p.NumClusters()
+}
+
+// NumModels returns the number of resident specialized models.
+func (s *Server) NumModels() int {
+	p, err := s.pipe()
+	if err != nil {
+		return 0
+	}
+	return p.NumModels()
+}
+
+// Close marks the server closed. Subsequent Bootstrap, OpenStream, Query
+// and Stream operations return ErrServerClosed; in-flight frames finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}

@@ -1,0 +1,157 @@
+package odin
+
+import (
+	"context"
+	"sync"
+)
+
+// StreamOptions configures one camera-stream session.
+type StreamOptions struct {
+	// Name labels the stream (diagnostics only).
+	Name string
+	// Workers bounds the sharded fan-out of the per-frame
+	// project→select→detect stages. 0 uses the server default
+	// (WithWorkers, which itself defaults to GOMAXPROCS).
+	Workers int
+	// MaxBatch caps how many already-arrived frames one Run dispatch
+	// aggregates. Larger windows amortise better (batched detection) at
+	// the cost of per-frame latency. 0 picks 4×Workers (at least 8).
+	MaxBatch int
+	// Buffer is the capacity of the channel Run returns. 0 picks MaxBatch.
+	Buffer int
+}
+
+// StreamResult is one frame's outcome on a Run channel. Results are
+// delivered in frame order regardless of how the stages were sharded.
+type StreamResult struct {
+	// Seq is the 0-based position of the frame within this Run.
+	Seq int
+	// Frame is the input frame (with its ground truth, if any).
+	Frame *Frame
+	Result
+}
+
+// Stream is one camera session against a shared Server. A stream is not
+// itself safe for concurrent Process calls (frames of one camera are
+// ordered); open one Stream per camera instead — streams of the same
+// Server process frames concurrently and share every model.
+type Stream struct {
+	srv      *Server
+	name     string
+	workers  int
+	maxBatch int
+	buffer   int
+
+	closeOnce sync.Once
+	done      chan struct{} // closed by Close; wakes blocked Run loops
+}
+
+// closedNow reports whether Close has been called.
+func (st *Stream) closedNow() bool {
+	select {
+	case <-st.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Name returns the stream's label.
+func (st *Stream) Name() string { return st.name }
+
+// Process runs one frame through the drift-aware pipeline synchronously
+// and returns its result. It honours ctx before starting (not mid-frame).
+func (st *Stream) Process(ctx context.Context, f *Frame) (Result, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+	if st.closedNow() {
+		return Result{}, ErrStreamClosed
+	}
+	p, err := st.srv.pipe()
+	if err != nil {
+		return Result{}, err
+	}
+	return p.Process(f), nil
+}
+
+// Run consumes frames from in until it closes (or ctx is cancelled, or
+// the stream is closed) and returns a channel of results in frame order.
+// Arrived frames are aggregated into windows of at most MaxBatch and
+// processed with the project and detect stages sharded across the
+// stream's worker budget; results are bit-identical to sequential Process
+// calls on the same frames. Cancellation closes the result channel
+// without draining in.
+//
+// Run pins the server's pipeline for its whole lifetime: every frame it
+// consumes from in is processed, even if the server is closed mid-run
+// (Close's "in-flight work finishes" contract). If the server was already
+// closed (or never bootstrapped) when Run is called, the returned channel
+// is closed immediately; check Process or OpenStream for the typed error.
+func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make(chan StreamResult, st.buffer)
+	p, err := st.srv.pipe()
+	if err != nil {
+		close(out)
+		return out
+	}
+	go func() {
+		defer close(out)
+		seq := 0
+		batch := make([]*Frame, 0, st.maxBatch)
+		for {
+			// Block for the window's first frame, then greedily take
+			// whatever has already arrived, up to MaxBatch.
+			batch = batch[:0]
+			select {
+			case <-ctx.Done():
+				return
+			case <-st.done:
+				return
+			case f, ok := <-in:
+				if !ok {
+					return
+				}
+				batch = append(batch, f)
+			}
+		fill:
+			for len(batch) < st.maxBatch {
+				select {
+				case f, ok := <-in:
+					if !ok {
+						break fill // flush, then exit on the next receive
+					}
+					batch = append(batch, f)
+				default:
+					break fill
+				}
+			}
+
+			for i, r := range p.ProcessBatch(batch, st.workers) {
+				select {
+				case <-ctx.Done():
+					return
+				case <-st.done:
+					return
+				case out <- StreamResult{Seq: seq, Frame: batch[i], Result: r}:
+					seq++
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// Close ends the session. In-flight work finishes; subsequent Process
+// calls return ErrStreamClosed and Run loops exit — including loops
+// blocked waiting for input, which Close wakes. Closing a stream does not
+// affect the shared server. Close is idempotent.
+func (st *Stream) Close() error {
+	st.closeOnce.Do(func() { close(st.done) })
+	return nil
+}

@@ -1,0 +1,130 @@
+package odin
+
+import "context"
+
+// Options configures a System.
+//
+// Deprecated: Options only serves the legacy System shim. New code should
+// construct a Server with functional options (WithSeed, WithPolicy, ...).
+type Options struct {
+	// Seed drives all randomness; equal seeds give identical systems.
+	Seed uint64
+
+	// BootstrapFrames is the number of held-out frames used to train the
+	// DA-GAN projection and the baseline detector (default 600).
+	BootstrapFrames int
+	// BootstrapEpochs is the DA-GAN epoch budget (default 8).
+	BootstrapEpochs int
+	// BaselineEpochs is the baseline detector epoch budget (default 40).
+	BaselineEpochs int
+
+	// MaxModels caps resident specialized models; 0 = unlimited.
+	MaxModels int
+	// DriftRecovery disables the drift pipeline when false (static mode).
+	DriftRecovery *bool
+
+	// Policy selects the model-selection policy: "delta-bm" (default),
+	// "knn-u", "knn-w" or "most-recent".
+	Policy string
+}
+
+// System is the pre-Server one-shot facade: a blocking, single-caller view
+// of one Server.
+//
+// Deprecated: System remains only to keep existing callers compiling. It
+// is a thin shim over Server; use Server and Stream for new code — they
+// are concurrency-safe, sharded, and report misuse as errors instead of
+// panicking.
+type System struct {
+	srv *Server
+}
+
+// NewSystem creates the legacy facade over a freshly constructed Server.
+//
+// Deprecated: use New with functional options.
+func NewSystem(opts Options) (*System, error) {
+	var o []Option
+	if opts.Seed != 0 {
+		o = append(o, WithSeed(opts.Seed))
+	}
+	if opts.BootstrapFrames > 0 {
+		o = append(o, WithBootstrapFrames(opts.BootstrapFrames))
+	}
+	if opts.BootstrapEpochs > 0 {
+		o = append(o, WithBootstrapEpochs(opts.BootstrapEpochs))
+	}
+	if opts.BaselineEpochs > 0 {
+		o = append(o, WithBaselineEpochs(opts.BaselineEpochs))
+	}
+	if opts.MaxModels > 0 {
+		o = append(o, WithMaxModels(opts.MaxModels))
+	}
+	if opts.DriftRecovery != nil {
+		o = append(o, WithDriftRecovery(*opts.DriftRecovery))
+	}
+	pol, err := ParsePolicy(opts.Policy)
+	if err != nil {
+		return nil, err
+	}
+	o = append(o, WithPolicy(pol))
+	srv, err := New(o...)
+	if err != nil {
+		return nil, err
+	}
+	return &System{srv: srv}, nil
+}
+
+// Server returns the underlying Server, easing incremental migration.
+func (s *System) Server() *Server { return s.srv }
+
+// GenerateFrames renders frames from a subset's domain distribution.
+func (s *System) GenerateFrames(sub Subset, n int) []*Frame {
+	return s.srv.GenerateFrames(sub, n)
+}
+
+// Bootstrap trains the DA-GAN projection and the baseline detector.
+// A second call returns ErrAlreadyBootstrapped.
+func (s *System) Bootstrap(boot []*Frame) error {
+	return s.srv.Bootstrap(context.Background(), boot)
+}
+
+// Process runs one frame through the drift-aware pipeline.
+//
+// Deprecated: it keeps the legacy contract of panicking (with
+// ErrNotBootstrapped) when called before Bootstrap; Stream.Process returns
+// the error instead.
+func (s *System) Process(f *Frame) Result {
+	p, err := s.srv.pipe()
+	if err != nil {
+		panic(err)
+	}
+	return p.Process(f)
+}
+
+// Query parses and executes an aggregation query over frames. Unlike the
+// pre-Server facade it returns ErrNotBootstrapped instead of panicking.
+func (s *System) Query(sql string, frames []*Frame) (*QueryResult, error) {
+	return s.srv.Query(context.Background(), sql, frames)
+}
+
+// RegisterModel binds a custom detection model for USING MODEL clauses.
+func (s *System) RegisterModel(name string, fn func(*Frame) []Detection) {
+	s.srv.RegisterModel(name, fn)
+}
+
+// RegisterFilter binds a custom frame pre-screen for USING FILTER clauses.
+func (s *System) RegisterFilter(name string, fn func(*Frame) bool) {
+	s.srv.RegisterFilter(name, fn)
+}
+
+// Stats returns pipeline telemetry (zero before Bootstrap).
+func (s *System) Stats() Stats { return s.srv.Stats() }
+
+// MemoryMB returns the simulated resident model memory.
+func (s *System) MemoryMB() float64 { return s.srv.MemoryMB() }
+
+// NumClusters returns the number of discovered concept clusters.
+func (s *System) NumClusters() int { return s.srv.NumClusters() }
+
+// NumModels returns the number of resident specialized models.
+func (s *System) NumModels() int { return s.srv.NumModels() }
