@@ -5,13 +5,16 @@
 //
 //	odin-bench [-scale quick|full] [-exp all|fig1|fig2|fig4|fig5|table1|
 //	            table2|fig8|table3|table4|table5|fig9|table6|table7|
-//	            stream] [-streamout BENCH_stream.json] [-v]
+//	            stream|query] [-streamout BENCH_stream.json]
+//	            [-queryout BENCH_query.json] [-v]
 //
 // Experiments share one context, so models trained for an earlier
-// experiment are reused by later ones. The "stream" experiment is special:
-// it drives the public odin.Server API on the Fig9 drift stream, compares
-// sequential Stream.Process against sharded Stream.Run at 1/4/8 workers,
-// and writes the frames/sec series to -streamout.
+// experiment are reused by later ones. Two experiments drive the public
+// odin.Server API instead: "stream" compares sequential Stream.Process
+// against sharded Stream.Run at 1/4/8 workers on the Fig9 drift stream
+// (frames/sec series → -streamout), and "query" measures prepared-query
+// throughput vs per-call parse plus the overhead of a standing
+// Stream.Subscribe query vs a bare Run session (→ -queryout).
 package main
 
 import (
@@ -28,6 +31,7 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "experiment scale: quick or full")
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids or 'all'")
 	streamOut := flag.String("streamout", "BENCH_stream.json", "output path of the 'stream' experiment's JSON series")
+	queryOut := flag.String("queryout", "BENCH_query.json", "output path of the 'query' experiment's JSON document")
 	verbose := flag.Bool("v", false, "log model-training progress")
 	flag.Parse()
 
@@ -61,6 +65,12 @@ func main() {
 		{"ablation", func() { exp.RunAblationBands(ctx, os.Stdout) }},
 		{"stream", func() {
 			if err := runStreamBench(scale, *streamOut, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}},
+		{"query", func() {
+			if err := runQueryBench(scale, *queryOut, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

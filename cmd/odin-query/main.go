@@ -1,10 +1,13 @@
 // Command odin-query executes an aggregation query against a generated
 // dash-cam stream, using either the static baseline or the drift-aware
-// ODIN pipeline (sharded across the server's worker budget).
+// ODIN pipeline (sharded across the server's worker budget). The query is
+// prepared once — parse → plan → execute — and -explain prints the
+// compiled plan instead of running it.
 //
 // Example:
 //
 //	odin-query -n 200 "SELECT COUNT(detections) FROM stream USING MODEL odin WHERE class='car'"
+//	odin-query -explain "SELECT COUNT(detections) FROM (SELECT * FROM stream USING FILTER f) USING MODEL odin"
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 	subset := flag.String("subset", "full", "frame distribution: full, day, night, rain, snow")
 	seed := flag.Uint64("seed", 5, "random seed")
 	warm := flag.Int("warm", 400, "warm-up frames per phase before querying (builds specialists)")
+	explain := flag.Bool("explain", false, "print the compiled execution plan and exit without running")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: odin-query [flags] \"SELECT ...\"")
@@ -50,6 +54,18 @@ func main() {
 	if err := srv.Bootstrap(ctx, nil); err != nil {
 		log.Fatal(err)
 	}
+
+	// Prepare once: references are validated and the plan is compiled
+	// before any frame is generated or processed.
+	prepared, err := srv.PrepareSQL(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *explain {
+		fmt.Printf("query: %s\nplan:  %s\n", prepared.SQL(), prepared.Explain())
+		return
+	}
+
 	if *warm > 0 {
 		fmt.Fprintln(os.Stderr, "warming the pipeline (drift recovery)...")
 		stream, err := srv.OpenStream(ctx, odin.StreamOptions{Name: "warmup"})
@@ -71,11 +87,12 @@ func main() {
 	}
 
 	frames := srv.GenerateFrames(sub, *n)
-	res, err := srv.Query(ctx, sql, frames)
+	res, err := prepared.Execute(ctx, frames)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("query:    %s\n", sql)
+	fmt.Printf("plan:     %s\n", prepared.Explain())
 	fmt.Printf("frames:   %d scanned, %d filtered, %d processed by model\n",
 		res.FramesScanned, res.FramesFiltered, res.ModelFrames)
 	fmt.Printf("count:    %d\n", res.Count)

@@ -2,7 +2,6 @@ package query
 
 import (
 	"context"
-	"fmt"
 	"strconv"
 	"strings"
 	"sync"
@@ -26,17 +25,21 @@ type BatchModelFunc func(frames []*synth.Frame) [][]detect.Detection
 // before the heavyweight model runs (§6.6 "lightweight filters").
 type FilterFunc func(f *synth.Frame) bool
 
-// Engine executes parsed queries over a frame source. Registration and
-// execution are safe for concurrent use: the registries are guarded by a
-// read-write mutex (registrations are rare, queries are hot).
+// Engine prepares and executes queries over a frame source. Registration,
+// preparation and execution are safe for concurrent use: the registries
+// and the score floor are guarded by a read-write mutex (registrations are
+// rare, queries are hot), and each prepared Plan freezes the bindings and
+// threshold it was compiled with.
 type Engine struct {
 	mu          sync.RWMutex
 	models      map[string]ModelFunc
 	batchModels map[string]BatchModelFunc
 	filters     map[string]FilterFunc
-	// MinScore is the detection-confidence floor for counting.
-	MinScore float64
+	minScore    float64
 }
+
+// DefaultMinScore is the engine's initial detection-confidence floor.
+const DefaultMinScore = 0.3
 
 // NewEngine returns an engine with empty registries.
 func NewEngine() *Engine {
@@ -44,8 +47,24 @@ func NewEngine() *Engine {
 		models:      make(map[string]ModelFunc),
 		batchModels: make(map[string]BatchModelFunc),
 		filters:     make(map[string]FilterFunc),
-		MinScore:    0.3,
+		minScore:    DefaultMinScore,
 	}
+}
+
+// SetMinScore sets the default detection-confidence floor new plans
+// inherit. Plans already prepared keep the threshold they were compiled
+// with (use the WithMinScore prepare option for a per-plan override).
+func (e *Engine) SetMinScore(s float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.minScore = s
+}
+
+// MinScore returns the engine's current default score floor.
+func (e *Engine) MinScore() float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.minScore
 }
 
 // RegisterModel binds a model name usable in USING MODEL clauses.
@@ -111,7 +130,9 @@ func (r Result) DataReduction() float64 {
 	return float64(r.FramesFiltered) / float64(r.FramesScanned)
 }
 
-// Run parses and executes a query string over frames. The context cancels
+// Run parses, plans and executes a query string over frames — the
+// one-shot convenience path. Callers issuing the same query repeatedly
+// should Prepare once and Execute the Plan instead. The context cancels
 // execution between per-frame model invocations (and before each batch
 // invocation); a cancelled run returns ctx.Err().
 func (e *Engine) Run(ctx context.Context, sql string, frames []*synth.Frame) (*Result, error) {
@@ -122,116 +143,13 @@ func (e *Engine) Run(ctx context.Context, sql string, frames []*synth.Frame) (*R
 	return e.Execute(ctx, q, frames)
 }
 
-// Execute runs a parsed query over frames.
+// Execute plans and runs a parsed query over frames.
 func (e *Engine) Execute(ctx context.Context, q *Query, frames []*synth.Frame) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	res := &Result{FramesScanned: len(frames)}
-	live := make([]bool, len(frames))
-	for i := range live {
-		live[i] = true
-	}
-	if err := e.exec(ctx, q, frames, live, res); err != nil {
+	p, err := e.Prepare(q)
+	if err != nil {
 		return nil, err
 	}
-	return res, nil
-}
-
-// exec evaluates the query tree: sub-queries first (they narrow the live
-// frame set via filters), then this level's filter, model, predicate and
-// projection.
-func (e *Engine) exec(ctx context.Context, q *Query, frames []*synth.Frame, live []bool, res *Result) error {
-	if q.Sub != nil {
-		if err := e.exec(ctx, q.Sub, frames, live, res); err != nil {
-			return err
-		}
-	}
-
-	// Filter stage.
-	if q.UseFilter != "" {
-		fn, ok := e.lookupFilter(q.UseFilter)
-		if !ok {
-			return fmt.Errorf("query: unknown filter %q", q.UseFilter)
-		}
-		for i, f := range frames {
-			if live[i] && !fn(f) {
-				live[i] = false
-				res.FramesFiltered++
-			}
-		}
-	}
-
-	// Model + projection stage. Only the query level that names a model
-	// (or the outermost level for SELECT */detections pass-throughs)
-	// produces output.
-	if q.UseModel == "" {
-		return nil
-	}
-	bfn, batched, fn, single := e.lookupModel(q.UseModel)
-	if !batched && !single {
-		return fmt.Errorf("query: unknown model %q", q.UseModel)
-	}
-	classFilter := -1
-	if q.Where != nil {
-		if !strings.EqualFold(q.Where.Field, "class") {
-			return fmt.Errorf("query: unsupported predicate field %q", q.Where.Field)
-		}
-		classFilter = resolveClass(q.Where.Value)
-		if classFilter < 0 {
-			return fmt.Errorf("query: unknown class %q", q.Where.Value)
-		}
-	}
-
-	// Gather the surviving frames so batch models see one contiguous
-	// window; liveIdx maps batch positions back to input positions.
-	liveFrames := make([]*synth.Frame, 0, len(frames))
-	liveIdx := make([]int, 0, len(frames))
-	for i, f := range frames {
-		if live[i] {
-			liveFrames = append(liveFrames, f)
-			liveIdx = append(liveIdx, i)
-		}
-	}
-	var detsPerLive [][]detect.Detection
-	if batched {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		detsPerLive = bfn(liveFrames)
-		if len(detsPerLive) != len(liveFrames) {
-			return fmt.Errorf("query: batch model %q returned %d results for %d frames",
-				q.UseModel, len(detsPerLive), len(liveFrames))
-		}
-	} else {
-		detsPerLive = make([][]detect.Detection, len(liveFrames))
-		for k, f := range liveFrames {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			detsPerLive[k] = fn(f)
-		}
-	}
-
-	res.PerFrame = make([]int, len(frames))
-	res.Detections = make([][]detect.Detection, len(frames))
-	for k, i := range liveIdx {
-		res.ModelFrames++
-		var kept []detect.Detection
-		for _, d := range detsPerLive[k] {
-			if d.Score < e.MinScore {
-				continue
-			}
-			if classFilter >= 0 && d.Box.Class != classFilter {
-				continue
-			}
-			kept = append(kept, d)
-		}
-		res.Detections[i] = kept
-		res.PerFrame[i] = len(kept)
-		res.Count += len(kept)
-	}
-	return nil
+	return p.Execute(ctx, frames)
 }
 
 // resolveClass accepts a class name ('car') or a numeric id.

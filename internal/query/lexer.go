@@ -83,8 +83,11 @@ func Lex(input string) ([]Token, error) {
 			toks = append(toks, Token{TokNumber, input[i:j], i})
 			i = j
 		case unicode.IsLetter(c) || c == '_':
+			// Identifiers may contain '-' after the first rune (stream
+			// names like "cam-0"); the dialect has no arithmetic, so the
+			// hyphen is unambiguous.
 			j := i
-			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_' || input[j] == '-') {
 				j++
 			}
 			word := input[i:j]

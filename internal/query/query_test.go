@@ -223,7 +223,7 @@ func TestEngineScoreThreshold(t *testing.T) {
 		return out
 	}
 	e := NewEngine()
-	e.MinScore = 0.3
+	e.SetMinScore(0.3)
 	e.RegisterModel("weak", lowScore)
 	res, err := e.Run(context.Background(), "SELECT COUNT(detections) FROM bdd USING MODEL weak WHERE class='car'", frames)
 	if err != nil {

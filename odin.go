@@ -18,11 +18,16 @@
 //	    if res.Drift != nil { ... }
 //	}
 //
-//	out, err := srv.Query(ctx, "SELECT COUNT(detections) FROM stream USING MODEL odin WHERE class='car'", frames)
+//	pq, err := srv.Prepare(odin.Select(odin.Count).UsingModel("odin").Where(odin.Class("car")))
+//	out, err := pq.Execute(ctx, frames)            // compiled once, zero parse/plan per call
+//	windows, err := stream.Subscribe(ctx, pq, odin.WindowOptions{Size: 25})
+//	for wr := range windows { ... }                // standing query: one aggregate per window
 //
-// Single frames can also be processed synchronously with Stream.Process.
-// The pre-Server blocking facade survives as the deprecated System shim
-// (see NewSystem).
+// One-shot string SQL remains available via Server.Query / PrepareSQL
+// ("SELECT COUNT(detections) FROM stream USING MODEL odin WHERE
+// class='car'"). Single frames can also be processed synchronously with
+// Stream.Process. The pre-Server blocking facade survives as the
+// deprecated System shim (see NewSystem).
 package odin
 
 import (

@@ -3,6 +3,8 @@ package odin
 import (
 	"fmt"
 	"runtime"
+
+	"odin/internal/query"
 )
 
 // config is the resolved Server configuration. Options validate eagerly so
@@ -16,6 +18,7 @@ type config struct {
 	driftRecovery   bool
 	policy          Policy
 	workers         int
+	minScore        float64
 }
 
 func defaultConfig() config {
@@ -28,6 +31,7 @@ func defaultConfig() config {
 		driftRecovery:   true,
 		policy:          PolicyDeltaBM,
 		workers:         runtime.GOMAXPROCS(0),
+		minScore:        query.DefaultMinScore,
 	}
 }
 
@@ -110,6 +114,20 @@ func WithPolicy(p Policy) Option {
 			return err
 		}
 		c.policy = p
+		return nil
+	}
+}
+
+// WithMinScore sets the server-wide detection-confidence floor query
+// plans inherit (default 0.3). The floor is frozen into each plan at
+// prepare time — concurrent queries never observe a mid-flight change —
+// and a single query can override it with Query.WithMinScore.
+func WithMinScore(s float64) Option {
+	return func(c *config) error {
+		if !(s >= 0 && s <= 1) { // written to also reject NaN
+			return fmt.Errorf("odin: min score must be in [0,1], got %v", s)
+		}
+		c.minScore = s
 		return nil
 	}
 }

@@ -3,6 +3,7 @@ package odin
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"odin/internal/core"
@@ -24,6 +25,9 @@ var (
 	ErrServerClosed = errors.New("odin: server closed")
 	// ErrStreamClosed is returned by operations on a closed Stream.
 	ErrStreamClosed = errors.New("odin: stream closed")
+	// ErrReservedModel is returned when registering a model under a
+	// built-in binding name ("odin", "yolo").
+	ErrReservedModel = errors.New("odin: model name reserved for a built-in binding")
 )
 
 // Server is a running ODIN service instance. It owns the bootstrapped
@@ -63,11 +67,13 @@ func New(opts ...Option) (*Server, error) {
 		}
 	}
 	scene := synth.DefaultSceneConfig()
+	engine := query.NewEngine()
+	engine.SetMinScore(cfg.minScore)
 	return &Server{
 		cfg:    cfg,
 		scene:  scene,
 		gen:    synth.NewSceneGen(cfg.seed, scene),
-		engine: query.NewEngine(),
+		engine: engine,
 	}, nil
 }
 
@@ -174,6 +180,16 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 	return nil
 }
 
+// alive returns ErrServerClosed after Close, nil otherwise.
+func (s *Server) alive() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrServerClosed
+	}
+	return nil
+}
+
 // pipe returns the live pipeline or the reason there is none.
 func (s *Server) pipe() (*core.Odin, error) {
 	s.mu.Lock()
@@ -225,22 +241,45 @@ func (s *Server) OpenStream(ctx context.Context, o StreamOptions) (*Stream, erro
 	}, nil
 }
 
-// Query parses and executes an aggregation query over frames. The built-in
-// model names are "odin" (drift-aware pipeline, sharded across the
-// server's worker budget) and "yolo" (static baseline, batched); more can
-// be added with RegisterModel / RegisterFilter. The context cancels
-// execution between model invocations.
+// Query parses, compiles and executes an aggregation query over frames —
+// a thin parse-then-compile wrapper over PrepareSQL + Execute for one-shot
+// calls; issue a query repeatedly via Prepare instead, which plans once.
+// The built-in model names are "odin" (drift-aware pipeline, sharded
+// across the server's worker budget) and "yolo" (static baseline,
+// batched); more can be added with RegisterModel / RegisterFilter.
+// Queries referencing only custom models run before Bootstrap; the
+// built-in bindings require it. The context cancels execution between
+// model invocations.
 func (s *Server) Query(ctx context.Context, sql string, frames []*Frame) (*QueryResult, error) {
-	if _, err := s.pipe(); err != nil {
+	pq, err := s.PrepareSQL(sql)
+	if err != nil {
 		return nil, err
 	}
-	return s.engine.Run(ctx, sql, frames)
+	return pq.Execute(ctx, frames)
 }
 
 // RegisterModel binds a custom per-frame detection model for USING MODEL
-// clauses. May be called before Bootstrap.
-func (s *Server) RegisterModel(name string, fn func(*Frame) []Detection) {
+// clauses. May be called before Bootstrap; queries referencing only
+// registered models are runnable immediately. The built-in names "odin"
+// and "yolo" are reserved (ErrReservedModel) — continuous queries decide
+// whether to reuse the stream's pipeline results by that binding.
+func (s *Server) RegisterModel(name string, fn func(*Frame) []Detection) error {
+	if builtinModel(name) {
+		return fmt.Errorf("%w: %q", ErrReservedModel, name)
+	}
 	s.engine.RegisterModel(name, fn)
+	return nil
+}
+
+// RegisterBatchModel binds a custom batch detection model, taking
+// precedence over a per-frame binding of the same name. May be called
+// before Bootstrap. Built-in names are reserved (ErrReservedModel).
+func (s *Server) RegisterBatchModel(name string, fn func([]*Frame) [][]Detection) error {
+	if builtinModel(name) {
+		return fmt.Errorf("%w: %q", ErrReservedModel, name)
+	}
+	s.engine.RegisterBatchModel(name, fn)
+	return nil
 }
 
 // RegisterFilter binds a custom frame pre-screen for USING FILTER clauses.

@@ -2,7 +2,10 @@ package odin
 
 import (
 	"context"
+	"errors"
 	"sync"
+
+	"odin/internal/query"
 )
 
 // StreamOptions configures one camera-stream session.
@@ -31,6 +34,77 @@ type StreamResult struct {
 	Result
 }
 
+// WindowOptions configures a continuous-query subscription
+// (Stream.Subscribe).
+type WindowOptions struct {
+	// Size is the number of frames aggregated per emitted window. 0 uses
+	// the stream's MaxBatch. Window boundaries are frame-sequence based,
+	// so they are deterministic regardless of how Run batched the frames.
+	Size int
+	// Buffer is the capacity of the subscription's result channel
+	// (0 picks 4). A full channel applies backpressure to the stream's
+	// Run loop, so consume window results concurrently with the Run
+	// results (or size Buffer for the expected window count).
+	Buffer int
+}
+
+// WindowResult is one window's aggregate on a subscription channel.
+// Windows are emitted in frame order; the embedded QueryResult carries the
+// count, per-frame counts and data-reduction stats for the window's
+// frames.
+type WindowResult struct {
+	// Window is the 0-based window index within this subscription.
+	Window int
+	// StartSeq and EndSeq are the inclusive Run sequence range the window
+	// covers. The final window of a session may be partial.
+	StartSeq, EndSeq int
+	// Err is non-nil when evaluating the window failed (the subscription
+	// context was cancelled mid-window, or a custom batch model
+	// misbehaved). An errored window carries no aggregate and is the
+	// subscription's final emission: the channel closes after it.
+	Err error
+	QueryResult
+}
+
+// subscription is one standing query attached to a stream: a prepared
+// plan plus the current window's accumulation state. All mutable state is
+// touched only by the Run loop (and by the final flush), never
+// concurrently.
+type subscription struct {
+	ctx    context.Context
+	plan   *query.Plan
+	shared bool // plan's model is the drift pipeline: reuse Run's results
+	size   int
+	ch     chan WindowResult
+
+	win    int
+	start  int
+	frames []*Frame
+	dets   [][]Detection
+	closed bool
+}
+
+// window evaluates and resets the current accumulation. For shared plans
+// it reduces the pipeline detections the Run loop already produced; for
+// other plans it executes the model over the window's frames. A failed
+// evaluation (cancelled subscription context, misbehaving custom batch
+// model) is reported as a WindowResult carrying Err, so the consumer can
+// distinguish it from a normal end of session.
+func (sub *subscription) window() WindowResult {
+	wr := WindowResult{Window: sub.win, StartSeq: sub.start, EndSeq: sub.start + len(sub.frames) - 1}
+	if sub.shared {
+		wr.QueryResult = *sub.plan.ExecuteOver(sub.frames, sub.dets)
+	} else if res, err := sub.plan.Execute(sub.ctx, sub.frames); err != nil {
+		wr.Err = err
+	} else {
+		wr.QueryResult = *res
+	}
+	sub.win++
+	sub.frames = sub.frames[:0]
+	sub.dets = sub.dets[:0]
+	return wr
+}
+
 // Stream is one camera session against a shared Server. A stream is not
 // itself safe for concurrent Process calls (frames of one camera are
 // ordered); open one Stream per camera instead — streams of the same
@@ -44,6 +118,10 @@ type Stream struct {
 
 	closeOnce sync.Once
 	done      chan struct{} // closed by Close; wakes blocked Run loops
+
+	subMu     sync.Mutex
+	subs      []*subscription
+	runActive bool // a Run session owns the subscriptions' lifecycle
 }
 
 // closedNow reports whether Close has been called.
@@ -77,6 +155,170 @@ func (st *Stream) Process(ctx context.Context, f *Frame) (Result, error) {
 	return p.Process(f), nil
 }
 
+// Subscribe attaches a standing continuous query to the stream: every
+// frame a Run session processes is offered to the subscription, and each
+// completed window of o.Size frames emits one WindowResult aggregate on
+// the returned channel, in frame order. Plans whose model is the
+// drift-aware pipeline ("odin") reduce the session's own sharded
+// ProcessBatch results — detection runs once per window no matter how many
+// subscriptions share the stream, and their filters act as counting
+// filters (the pipeline must observe every frame for drift detection).
+// Plans bound to other models execute their model over each window's
+// frames, with filters skipping model work exactly as in offline queries.
+//
+// The subscription lives until its context is cancelled, the stream is
+// closed, or the Run session ends — a session's end flushes a final
+// (possibly partial) window and closes the channel. Subscribing before
+// Run starts is allowed; frames only flow while a Run session is active
+// (synchronous Process calls do not feed subscriptions).
+func (st *Stream) Subscribe(ctx context.Context, pq *PreparedQuery, o WindowOptions) (<-chan WindowResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if pq == nil {
+		return nil, errors.New("odin: nil prepared query")
+	}
+	if pq.srv != st.srv {
+		return nil, ErrForeignQuery
+	}
+	if err := st.srv.alive(); err != nil {
+		return nil, err
+	}
+	size := o.Size
+	if size <= 0 {
+		size = st.maxBatch
+	}
+	buffer := o.Buffer
+	if buffer <= 0 {
+		buffer = 4
+	}
+	sub := &subscription{
+		ctx:    ctx,
+		plan:   pq.plan,
+		shared: pq.pipelineShared,
+		size:   size,
+		ch:     make(chan WindowResult, buffer),
+	}
+	st.subMu.Lock()
+	defer st.subMu.Unlock()
+	if st.closedNow() {
+		return nil, ErrStreamClosed
+	}
+	st.subs = append(st.subs, sub)
+	return sub.ch, nil
+}
+
+// snapshotSubs copies the active subscription list.
+func (st *Stream) snapshotSubs() []*subscription {
+	st.subMu.Lock()
+	defer st.subMu.Unlock()
+	out := make([]*subscription, len(st.subs))
+	copy(out, st.subs)
+	return out
+}
+
+// dropSub closes a subscription's channel and removes it. Idempotent.
+func (st *Stream) dropSub(sub *subscription) {
+	st.subMu.Lock()
+	defer st.subMu.Unlock()
+	st.dropSubLocked(sub)
+}
+
+func (st *Stream) dropSubLocked(sub *subscription) {
+	if sub.closed {
+		return
+	}
+	sub.closed = true
+	close(sub.ch)
+	for i, s := range st.subs {
+		if s == sub {
+			st.subs = append(st.subs[:i], st.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// deliverSubs offers one processed window of the Run session to every
+// subscription, emitting completed aggregation windows along the way.
+// Returns false when the session must abort (run context cancelled or
+// stream closed while blocked on a subscriber).
+func (st *Stream) deliverSubs(ctx context.Context, batch []*Frame, results []Result, seqBase int) bool {
+	subs := st.snapshotSubs()
+	if len(subs) == 0 {
+		return true
+	}
+	for _, sub := range subs {
+		if sub.ctx.Err() != nil {
+			st.dropSub(sub)
+			continue
+		}
+	frames:
+		for i, f := range batch {
+			if len(sub.frames) == 0 {
+				sub.start = seqBase + i
+			}
+			sub.frames = append(sub.frames, f)
+			if sub.shared {
+				sub.dets = append(sub.dets, results[i].Detections)
+			}
+			if len(sub.frames) < sub.size {
+				continue
+			}
+			wr := sub.window()
+			select {
+			case sub.ch <- wr:
+				if wr.Err != nil { // errored windows end the subscription
+					st.dropSub(sub)
+					break frames
+				}
+			case <-sub.ctx.Done():
+				st.dropSub(sub)
+				break frames
+			case <-st.done:
+				return false
+			case <-ctx.Done():
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// finishSubs ends the Run session's subscriptions. A clean end (input
+// exhausted) flushes each subscription's partial window before closing its
+// channel; a cancelled session closes them without the flush (cancellation
+// does not promise the partial window). The flush honours the Run context
+// too, so an abandoned subscription channel cannot pin the session's
+// goroutine past a cancellation.
+func (st *Stream) finishSubs(ctx context.Context, clean bool) {
+	// Loop until the list is observed empty under the lock that also
+	// clears runActive: a Subscribe racing this teardown lands either in a
+	// snapshot (and is closed here) or after runActive is cleared (and
+	// belongs to the next session) — never orphaned.
+	for {
+		st.subMu.Lock()
+		if len(st.subs) == 0 {
+			st.runActive = false
+			st.subMu.Unlock()
+			return
+		}
+		subs := make([]*subscription, len(st.subs))
+		copy(subs, st.subs)
+		st.subMu.Unlock()
+		for _, sub := range subs {
+			if clean && len(sub.frames) > 0 && sub.ctx.Err() == nil {
+				select {
+				case sub.ch <- sub.window():
+				case <-sub.ctx.Done():
+				case <-st.done:
+				case <-ctx.Done():
+				}
+			}
+			st.dropSub(sub)
+		}
+	}
+}
+
 // Run consumes frames from in until it closes (or ctx is cancelled, or
 // the stream is closed) and returns a channel of results in frame order.
 // Arrived frames are aggregated into windows of at most MaxBatch and
@@ -89,18 +331,36 @@ func (st *Stream) Process(ctx context.Context, f *Frame) (Result, error) {
 // consumes from in is processed, even if the server is closed mid-run
 // (Close's "in-flight work finishes" contract). If the server was already
 // closed (or never bootstrapped) when Run is called, the returned channel
-// is closed immediately; check Process or OpenStream for the typed error.
+// is closed immediately — and so are the stream's subscription channels
+// (no session will feed them); check Process or OpenStream for the typed
+// error. A stream carries at most one Run session at a time: a second Run
+// while one is active also returns an immediately-closed channel, leaving
+// the active session and its subscriptions untouched.
 func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	out := make(chan StreamResult, st.buffer)
-	p, err := st.srv.pipe()
-	if err != nil {
+	st.subMu.Lock()
+	if st.runActive {
+		st.subMu.Unlock()
 		close(out)
 		return out
 	}
+	st.runActive = true
+	st.subMu.Unlock()
+	p, err := st.srv.pipe()
+	if err != nil {
+		close(out)
+		st.finishSubs(ctx, false)
+		return out
+	}
 	go func() {
+		clean := false
+		// LIFO: out closes first, then subscriptions flush — so a consumer
+		// draining out before the subscription channel cannot deadlock the
+		// final window flush.
+		defer func() { st.finishSubs(ctx, clean) }()
 		defer close(out)
 		seq := 0
 		batch := make([]*Frame, 0, st.maxBatch)
@@ -115,6 +375,7 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 				return
 			case f, ok := <-in:
 				if !ok {
+					clean = true
 					return
 				}
 				batch = append(batch, f)
@@ -132,7 +393,13 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 				}
 			}
 
-			for i, r := range p.ProcessBatch(batch, st.workers) {
+			results := p.ProcessBatch(batch, st.workers)
+			// Standing queries observe the window before the per-frame
+			// results go out, reusing the same sharded detections.
+			if !st.deliverSubs(ctx, batch, results, seq) {
+				return
+			}
+			for i, r := range results {
 				select {
 				case <-ctx.Done():
 					return
@@ -149,9 +416,18 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 
 // Close ends the session. In-flight work finishes; subsequent Process
 // calls return ErrStreamClosed and Run loops exit — including loops
-// blocked waiting for input, which Close wakes. Closing a stream does not
-// affect the shared server. Close is idempotent.
+// blocked waiting for input, which Close wakes. Subscriptions end: an
+// active Run session closes them on its way out, otherwise Close closes
+// them here. Closing a stream does not affect the shared server. Close is
+// idempotent.
 func (st *Stream) Close() error {
 	st.closeOnce.Do(func() { close(st.done) })
+	st.subMu.Lock()
+	defer st.subMu.Unlock()
+	if !st.runActive {
+		for len(st.subs) > 0 {
+			st.dropSubLocked(st.subs[0])
+		}
+	}
 	return nil
 }

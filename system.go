@@ -108,8 +108,12 @@ func (s *System) Query(sql string, frames []*Frame) (*QueryResult, error) {
 }
 
 // RegisterModel binds a custom detection model for USING MODEL clauses.
+// The built-in names "odin"/"yolo" are now reserved; like the other
+// legacy-contract violations this shim surfaces, registering one panics.
 func (s *System) RegisterModel(name string, fn func(*Frame) []Detection) {
-	s.srv.RegisterModel(name, fn)
+	if err := s.srv.RegisterModel(name, fn); err != nil {
+		panic(err)
+	}
 }
 
 // RegisterFilter binds a custom frame pre-screen for USING FILTER clauses.
