@@ -5,16 +5,19 @@
 //
 //	odin-bench [-scale quick|full] [-exp all|fig1|fig2|fig4|fig5|table1|
 //	            table2|fig8|table3|table4|table5|fig9|table6|table7|
-//	            stream|query] [-streamout BENCH_stream.json]
-//	            [-queryout BENCH_query.json] [-v]
+//	            stream|query|dispatch] [-streamout BENCH_stream.json]
+//	            [-queryout BENCH_query.json] [-dispatchout BENCH_dispatch.json] [-v]
 //
 // Experiments share one context, so models trained for an earlier
-// experiment are reused by later ones. Two experiments drive the public
+// experiment are reused by later ones. Three experiments drive the public
 // odin.Server API instead: "stream" compares sequential Stream.Process
 // against sharded Stream.Run at 1/4/8 workers on the Fig9 drift stream
-// (frames/sec series → -streamout), and "query" measures prepared-query
+// (frames/sec series → -streamout), "query" measures prepared-query
 // throughput vs per-call parse plus the overhead of a standing
-// Stream.Subscribe query vs a bare Run session (→ -queryout).
+// Stream.Subscribe query vs a bare Run session (→ -queryout), and
+// "dispatch" measures the fleet dispatcher — per-stream vs cross-stream
+// batched throughput at 1/2/4/8 cameras and the recovery-stall p99 with
+// inline vs async drift training (→ -dispatchout).
 package main
 
 import (
@@ -32,6 +35,7 @@ func main() {
 	expFlag := flag.String("exp", "all", "comma-separated experiment ids or 'all'")
 	streamOut := flag.String("streamout", "BENCH_stream.json", "output path of the 'stream' experiment's JSON series")
 	queryOut := flag.String("queryout", "BENCH_query.json", "output path of the 'query' experiment's JSON document")
+	dispatchOut := flag.String("dispatchout", "BENCH_dispatch.json", "output path of the 'dispatch' experiment's JSON document")
 	verbose := flag.Bool("v", false, "log model-training progress")
 	flag.Parse()
 
@@ -71,6 +75,12 @@ func main() {
 		}},
 		{"query", func() {
 			if err := runQueryBench(scale, *queryOut, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}},
+		{"dispatch", func() {
+			if err := runDispatchBench(scale, *dispatchOut, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -1,0 +1,115 @@
+// Fleet mode end to end: four cameras share one server through the fleet
+// dispatcher, and one drift recovery — trained asynchronously, off the
+// serving path — rescues all of them at once. The server bootstraps on
+// night scenes; dawn then breaks on every camera simultaneously. The
+// drift DETECTOR promotes a single shared day concept, the async trainer
+// builds its specialized model in the background while every camera keeps
+// streaming on the previous-best model (frames flagged RecoveryPending),
+// and the swap lands for the whole fleet in one atomic pointer update —
+// visible as the model generation stepping from 0 to 1 on every stream.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+
+	"odin"
+)
+
+const (
+	cameras     = 4
+	nightFrames = 80
+	dayFrames   = 700
+)
+
+func main() {
+	ctx := context.Background()
+
+	srv, err := odin.New(
+		odin.WithSeed(9),
+		odin.WithBootstrapFrames(300),
+		odin.WithBootstrapEpochs(4),
+		odin.WithBaselineEpochs(12),
+		odin.WithDispatcher(true),  // merge the cameras' windows into shared batches
+		odin.WithTrainAsync(true),  // recoveries train off the serving path
+		odin.WithLabelDelay(10000), // keep this demo on the fast distilled recovery
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("bootstrapping on night scenes (the known world)...")
+	if err := srv.Bootstrap(ctx, srv.GenerateFrames(odin.NightData, 300)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Every camera streams the same story: night, then dawn breaks.
+	camFrames := make([][]*odin.Frame, cameras)
+	for c := range camFrames {
+		camFrames[c] = append(srv.GenerateFrames(odin.NightData, nightFrames),
+			srv.GenerateFrames(odin.DayData, dayFrames)...)
+	}
+
+	type camStats struct {
+		frames, interim int
+		drifts          int
+		lastInterim     int // last frame still served by the previous-best model
+	}
+	stats := make([]camStats, cameras)
+
+	fmt.Printf("streaming %d cameras through dawn (fleet-dispatched, async recovery)...\n", cameras)
+	var wg sync.WaitGroup
+	for c := 0; c < cameras; c++ {
+		st, err := srv.OpenStream(ctx, odin.StreamOptions{Name: fmt.Sprintf("cam-%d", c)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, st *odin.Stream, frames []*odin.Frame) {
+			defer wg.Done()
+			in := make(chan *odin.Frame, len(frames))
+			for _, f := range frames {
+				in <- f
+			}
+			close(in)
+			s := &stats[c]
+			s.lastInterim = -1
+			for res := range st.Run(ctx, in) {
+				s.frames++
+				if res.Drift != nil {
+					s.drifts++
+					fmt.Printf("  DRIFT detected on cam-%d at frame %d: cluster %s promoted -> async recovery scheduled\n",
+						c, res.Seq, res.Drift.Cluster.Label)
+				}
+				if res.RecoveryPending {
+					s.interim++ // served by the previous-best model while training
+					s.lastInterim = res.Seq
+				}
+			}
+		}(c, st, camFrames[c])
+	}
+	wg.Wait()
+
+	// Serving is done; let any recovery still training land.
+	if err := srv.WaitRecoveries(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	total := srv.Stats()
+	fmt.Printf("\nfleet: %d frames across %d cameras, %d drift events, %d recovered models resident (%.1f MB simulated)\n",
+		total.Frames, cameras, total.DriftEvents, srv.NumModels(), srv.MemoryMB())
+	fmt.Printf("model generation: %d — each recovery is one atomic swap serving every camera\n", srv.ModelGen())
+	for c, s := range stats {
+		swap := "the recoveries landed after its stream ended"
+		if s.lastInterim >= 0 && s.lastInterim < s.frames-1 {
+			swap = fmt.Sprintf("fully recovered from frame %d", s.lastInterim+1)
+		}
+		fmt.Printf("  cam-%d: %d frames, %d interim (previous-best) frames during recovery, %s\n",
+			c, s.frames, s.interim, swap)
+	}
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

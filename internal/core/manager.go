@@ -70,6 +70,19 @@ type pendingSpec struct {
 	readyAt   int
 }
 
+// TrainJob is one deferred specializer-training task: everything needed to
+// build a model off the serving path. Frames is a snapshot taken when the
+// job was scheduled (under the pipeline lock), so an async trainer never
+// races the live per-cluster buffer; Seed is drawn at schedule time, so the
+// seed sequence is identical whether training runs inline or deferred.
+type TrainJob struct {
+	Kind      detect.Kind
+	ClusterID int
+	AtFrame   int // pipeline frame counter when the job was scheduled
+	Seed      uint64
+	Frames    []*synth.Frame
+}
+
 // ModelManager owns the baseline model and the per-cluster specialized
 // models, and implements the SPECIALIZER (Algorithm 2's model-generation
 // half): on drift it immediately distills a YOLO-Lite from the baseline's
@@ -87,6 +100,18 @@ type ModelManager struct {
 	pending    []pendingSpec
 	trainLog   []TrainEvent
 	seq        uint64
+
+	// async defers training: OnDrift/MaturePending return TrainJobs instead
+	// of training inline, and a background trainer lands them via install.
+	async bool
+	// gen is the model-set generation: it increments on every model swap
+	// (inline or async), so results can be attributed to the exact model
+	// set that served them.
+	gen uint64
+	// outstanding counts scheduled-but-unlanded jobs per cluster — the
+	// "recovery pending" signal surfaced on results while the interim
+	// (previous-best) model serves.
+	outstanding map[int]int
 }
 
 // NewModelManager wraps a baseline detector.
@@ -101,12 +126,42 @@ func NewModelManager(cfg SpecializerConfig, scene synth.SceneConfig, baseline *d
 		}
 	}
 	return &ModelManager{
-		Cfg:       cfg,
-		Scene:     scene,
-		Baseline:  base,
-		byCluster: make(map[int]*Model),
-		buffers:   make(map[int][]*synth.Frame),
+		Cfg:         cfg,
+		Scene:       scene,
+		Baseline:    base,
+		byCluster:   make(map[int]*Model),
+		buffers:     make(map[int][]*synth.Frame),
+		outstanding: make(map[int]int),
 	}
+}
+
+// SetAsync switches the manager between inline training (the default:
+// OnDrift/MaturePending train and swap before returning) and deferred
+// training (they return TrainJobs for a background trainer). Call before
+// serving frames.
+func (mm *ModelManager) SetAsync(on bool) { mm.async = on }
+
+// Gen returns the current model-set generation.
+func (mm *ModelManager) Gen() uint64 { return mm.gen }
+
+// Outstanding returns the total number of scheduled-but-unlanded jobs.
+func (mm *ModelManager) Outstanding() int {
+	total := 0
+	for _, n := range mm.outstanding {
+		total += n
+	}
+	return total
+}
+
+// pendingFor reports whether frames of cluster id are currently served by
+// an interim model while a recovery trains: the cluster itself has an
+// outstanding job, or the frame is an outlier (id < 0) while any recovery
+// is in flight.
+func (mm *ModelManager) pendingFor(id int) bool {
+	if id < 0 {
+		return len(mm.outstanding) > 0
+	}
+	return mm.outstanding[id] > 0
 }
 
 // Models returns the live cluster→model map (not to be mutated).
@@ -151,10 +206,13 @@ func (mm *ModelManager) AddFrame(clusterID int, f *synth.Frame) {
 	mm.buffers[clusterID] = append(buf, f)
 }
 
-// OnDrift reacts to a cluster promotion: seeds the new cluster's buffer and
-// trains an immediate YOLO-Lite student from the baseline's outputs, then
-// schedules the oracle-labelled specialized model.
-func (mm *ModelManager) OnDrift(ev *cluster.DriftEvent, seeds []*synth.Frame, atFrame int) {
+// OnDrift reacts to a cluster promotion: seeds the new cluster's buffer,
+// arranges an immediate YOLO-Lite student from the baseline's outputs, and
+// schedules the oracle-labelled specialized model. Inline mode trains and
+// swaps before returning (nil result); async mode returns the training
+// jobs for a background trainer and keeps serving with the previous-best
+// model in the interim.
+func (mm *ModelManager) OnDrift(ev *cluster.DriftEvent, seeds []*synth.Frame, atFrame int) []TrainJob {
 	id := ev.Cluster.ID
 	buf := append([]*synth.Frame(nil), seeds...)
 	if len(buf) > mm.Cfg.MaxTrainFrames {
@@ -166,37 +224,24 @@ func (mm *ModelManager) OnDrift(ev *cluster.DriftEvent, seeds []*synth.Frame, at
 		mm.DropCluster(ev.Evicted.ID)
 	}
 
+	var jobs []TrainJob
 	// Immediate lite model from teacher outputs — no labels needed.
 	if mm.Baseline != nil && len(buf) > 0 && mm.Cfg.LiteEpochs > 0 {
-		start := time.Now()
-		cfg := detect.LiteConfig(mm.Scene.H, mm.Scene.W)
-		cfg.Seed = mm.nextSeed()
-		lite := detect.NewGridDetector(cfg)
-		samples := detect.DistillSamples(mm.Baseline.Det, buf, mm.Cfg.DistillMinScore)
-		lite.Fit(samples, mm.Cfg.LiteEpochs, mm.Cfg.Batch)
-		m := &Model{
-			Kind:      detect.KindLite,
-			Det:       lite,
-			ClusterID: id,
-			Cost:      detect.CostOf(detect.KindLite),
-			CreatedAt: atFrame,
-			TrainedOn: len(buf),
-		}
-		mm.byCluster[id] = m
-		mm.mostRecent = m
-		mm.trainLog = append(mm.trainLog, TrainEvent{
+		jobs = mm.dispatch(jobs, TrainJob{
 			Kind: detect.KindLite, ClusterID: id, AtFrame: atFrame,
-			NumFrames: len(buf), Duration: time.Since(start),
+			Seed: mm.nextSeed(), Frames: mm.snapshot(buf),
 		})
 	}
 
 	mm.pending = append(mm.pending, pendingSpec{clusterID: id, readyAt: atFrame + mm.Cfg.LabelDelay})
-	mm.MaturePending(atFrame)
+	return append(jobs, mm.MaturePending(atFrame)...)
 }
 
-// MaturePending trains oracle-labelled specialized models for clusters
-// whose label delay has elapsed (§5.2: specialized replaces lite).
-func (mm *ModelManager) MaturePending(atFrame int) {
+// MaturePending arranges oracle-labelled specialized models for clusters
+// whose label delay has elapsed (§5.2: specialized replaces lite) — inline
+// or as returned jobs, matching OnDrift.
+func (mm *ModelManager) MaturePending(atFrame int) []TrainJob {
+	var jobs []TrainJob
 	var remaining []pendingSpec
 	for _, p := range mm.pending {
 		if atFrame < p.readyAt {
@@ -207,27 +252,101 @@ func (mm *ModelManager) MaturePending(atFrame int) {
 		if len(buf) == 0 {
 			continue // cluster evicted or empty; drop silently
 		}
-		start := time.Now()
-		cfg := detect.SpecializedConfig(mm.Scene.H, mm.Scene.W)
-		cfg.Seed = mm.nextSeed()
-		spec := detect.NewGridDetector(cfg)
-		spec.Fit(detect.SamplesFromFrames(buf), mm.Cfg.SpecEpochs, mm.Cfg.Batch)
-		m := &Model{
-			Kind:      detect.KindSpecialized,
-			Det:       spec,
-			ClusterID: p.clusterID,
-			Cost:      detect.CostOf(detect.KindSpecialized),
-			CreatedAt: atFrame,
-			TrainedOn: len(buf),
-		}
-		mm.byCluster[p.clusterID] = m
-		mm.mostRecent = m
-		mm.trainLog = append(mm.trainLog, TrainEvent{
+		jobs = mm.dispatch(jobs, TrainJob{
 			Kind: detect.KindSpecialized, ClusterID: p.clusterID, AtFrame: atFrame,
-			NumFrames: len(buf), Duration: time.Since(start),
+			Seed: mm.nextSeed(), Frames: mm.snapshot(buf),
 		})
 	}
 	mm.pending = remaining
+	return jobs
+}
+
+// snapshot freezes a training buffer for a deferred job. Inline training
+// consumes the buffer before the lock is released, so only async mode pays
+// for the copy (the live buffer slides in place under AddFrame).
+func (mm *ModelManager) snapshot(buf []*synth.Frame) []*synth.Frame {
+	if !mm.async {
+		return buf
+	}
+	return append([]*synth.Frame(nil), buf...)
+}
+
+// dispatch either trains a job inline (swap before returning) or queues it
+// for the background trainer, bumping the cluster's outstanding count.
+func (mm *ModelManager) dispatch(jobs []TrainJob, job TrainJob) []TrainJob {
+	if mm.async {
+		mm.outstanding[job.ClusterID]++
+		return append(jobs, job)
+	}
+	start := time.Now()
+	mm.install(job, mm.BuildModel(job), time.Since(start))
+	return jobs
+}
+
+// BuildModel trains the job's model. It reads only immutable manager state
+// (config, scene, the frozen baseline detector) and the job's frame
+// snapshot, so it is safe to run outside the pipeline lock — the async
+// trainer's whole point. The swap happens separately via Odin.FinishJob.
+func (mm *ModelManager) BuildModel(job TrainJob) *Model {
+	switch job.Kind {
+	case detect.KindLite:
+		cfg := detect.LiteConfig(mm.Scene.H, mm.Scene.W)
+		cfg.Seed = job.Seed
+		lite := detect.NewGridDetector(cfg)
+		samples := detect.DistillSamples(mm.Baseline.Det, job.Frames, mm.Cfg.DistillMinScore)
+		lite.Fit(samples, mm.Cfg.LiteEpochs, mm.Cfg.Batch)
+		return &Model{
+			Kind: detect.KindLite, Det: lite, ClusterID: job.ClusterID,
+			Cost: detect.CostOf(detect.KindLite), CreatedAt: job.AtFrame, TrainedOn: len(job.Frames),
+		}
+	case detect.KindSpecialized:
+		cfg := detect.SpecializedConfig(mm.Scene.H, mm.Scene.W)
+		cfg.Seed = job.Seed
+		spec := detect.NewGridDetector(cfg)
+		spec.Fit(detect.SamplesFromFrames(job.Frames), mm.Cfg.SpecEpochs, mm.Cfg.Batch)
+		return &Model{
+			Kind: detect.KindSpecialized, Det: spec, ClusterID: job.ClusterID,
+			Cost: detect.CostOf(detect.KindSpecialized), CreatedAt: job.AtFrame, TrainedOn: len(job.Frames),
+		}
+	}
+	return nil
+}
+
+// install swaps a trained model in and stamps the bookkeeping: the
+// cluster→model pointer, the most-recent pointer, the generation counter
+// and the train log. Caller holds the pipeline lock.
+func (mm *ModelManager) install(job TrainJob, m *Model, dur time.Duration) {
+	mm.byCluster[job.ClusterID] = m
+	mm.mostRecent = m
+	mm.gen++
+	mm.trainLog = append(mm.trainLog, TrainEvent{
+		Kind: job.Kind, ClusterID: job.ClusterID, AtFrame: job.AtFrame,
+		NumFrames: len(job.Frames), Duration: dur,
+	})
+}
+
+// finishJob lands (or rolls back) a deferred job under the pipeline lock:
+// the outstanding count always drops, and the swap is skipped — leaving the
+// prior model serving — when training failed, the cluster was evicted
+// mid-training, or a specialized model already superseded a late lite.
+func (mm *ModelManager) finishJob(job TrainJob, m *Model, dur time.Duration, failed bool) bool {
+	if n := mm.outstanding[job.ClusterID]; n <= 1 {
+		delete(mm.outstanding, job.ClusterID)
+	} else {
+		mm.outstanding[job.ClusterID] = n - 1
+	}
+	if failed || m == nil {
+		return false
+	}
+	if _, live := mm.buffers[job.ClusterID]; !live {
+		return false // cluster evicted while the job trained
+	}
+	if cur := mm.byCluster[job.ClusterID]; cur != nil &&
+		cur.Kind == detect.KindSpecialized && job.Kind == detect.KindLite {
+		return false // never downgrade a landed specialized model
+	}
+	mm.install(job, m, dur)
+	return true
 }
 
 // DropCluster removes the model and buffer of an evicted cluster (§6.5

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"odin/internal/cluster"
 	"odin/internal/detect"
@@ -22,6 +23,14 @@ type Config struct {
 	// false, leaving the static heavyweight baseline — the paper's
 	// "static system" comparison point.
 	DriftRecovery bool
+
+	// AsyncTrain defers drift-triggered specializer training off the
+	// serving path: Advance schedules TrainJobs (handed to the sink set
+	// with SetTrainSink) instead of training under the lock, and frames
+	// are served by the previous-best model until the trained model is
+	// swapped in via FinishJob. False keeps the deterministic inline
+	// behaviour.
+	AsyncTrain bool
 }
 
 // DefaultConfig returns the experiment configuration.
@@ -49,6 +58,15 @@ type Result struct {
 	// SimLatency is the simulated per-frame GPU time (seconds) of the
 	// models that ran, from the architecture cost model.
 	SimLatency float64
+	// ModelGen is the model-set generation that served this frame; it
+	// increments every time a trained model is swapped in, so a latency or
+	// accuracy sample can be attributed to the exact model set behind it.
+	ModelGen uint64
+	// RecoveryPending marks a frame served while a drift recovery was
+	// still training (async mode): its cluster had a scheduled-but-unlanded
+	// training job, so the previous-best model served it in the interim.
+	// Always false with inline training.
+	RecoveryPending bool
 }
 
 // Fingerprint reduces the Result to a comparable summary for determinism
@@ -62,8 +80,8 @@ func (r Result) Fingerprint() string {
 	if r.Drift != nil {
 		drift = fmt.Sprintf("%s/%d", r.Drift.Cluster.Label, r.Drift.NumSeeds)
 	}
-	return fmt.Sprintf("c=%d m=%v d=%s lat=%.9f dets=%v",
-		r.ClusterID, r.ModelsUsed, drift, r.SimLatency, r.Detections)
+	return fmt.Sprintf("c=%d m=%v d=%s g=%d p=%v lat=%.9f dets=%v",
+		r.ClusterID, r.ModelsUsed, drift, r.ModelGen, r.RecoveryPending, r.SimLatency, r.Detections)
 }
 
 // Stats aggregates pipeline telemetry.
@@ -120,6 +138,12 @@ type Odin struct {
 	mu          sync.Mutex
 	outlierRing []bufferedOutlier
 	stats       Stats
+
+	// pendingJobs collects training jobs scheduled by the drift stage
+	// (async mode); they are drained after the lock is released and handed
+	// to sink, so training never runs under mu.
+	pendingJobs []TrainJob
+	sink        func([]TrainJob)
 }
 
 // New assembles ODIN from a trained projector and a baseline heavyweight
@@ -127,11 +151,53 @@ type Odin struct {
 // (§4.4); the baseline plays the role of the pre-trained YOLO teacher.
 func New(cfg Config, proj gan.Projector, baseline *detect.GridDetector) *Odin {
 	enc := DownsampleEncoder(cfg.DownsampleFactor)
+	mm := NewModelManager(cfg.Spec, cfg.Scene, baseline)
+	mm.SetAsync(cfg.AsyncTrain)
 	return &Odin{
 		Cfg:      cfg,
 		Detector: NewDetector(proj, cfg.Cluster, enc),
-		Manager:  NewModelManager(cfg.Spec, cfg.Scene, baseline),
+		Manager:  mm,
 	}
+}
+
+// SetTrainSink installs the consumer of async training jobs (typically a
+// dispatch.Trainer). The sink is invoked outside the pipeline lock, on the
+// goroutine whose Advance scheduled the jobs, and must not block for long —
+// queue and return. Install it before serving frames. Without a sink,
+// async-scheduled jobs are trained synchronously on the scheduling
+// goroutine (off the lock, but on the serving path), so recoveries are
+// never silently dropped.
+func (o *Odin) SetTrainSink(fn func([]TrainJob)) {
+	o.mu.Lock()
+	o.sink = fn
+	o.mu.Unlock()
+}
+
+// FinishJob lands a deferred training job: the trained model is swapped in
+// atomically under the pipeline lock (bumping the model generation), or —
+// when training failed, the model is nil, or the cluster was evicted while
+// the job trained — the swap is skipped and the prior model keeps serving
+// (rollback). The cluster's pending-recovery count drops either way.
+// Returns whether the model was installed.
+func (o *Odin) FinishJob(job TrainJob, m *Model, dur time.Duration, trainErr error) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.Manager.finishJob(job, m, dur, trainErr != nil)
+}
+
+// PendingRecoveries returns the number of scheduled training jobs whose
+// models have not been swapped in yet (always 0 with inline training).
+func (o *Odin) PendingRecoveries() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.Manager.Outstanding()
+}
+
+// ModelGen returns the current model-set generation.
+func (o *Odin) ModelGen() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.Manager.Gen()
 }
 
 // Stats returns aggregate telemetry.
@@ -189,8 +255,34 @@ func (o *Odin) Project(f *synth.Frame) []float64 {
 // evolution; the mutex serializes concurrent streams.
 func (o *Odin) Advance(f *synth.Frame, z []float64) Plan {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.advanceLocked(f, z)
+	p := o.advanceLocked(f, z)
+	jobs := o.pendingJobs
+	o.pendingJobs = nil
+	o.mu.Unlock()
+	o.submitJobs(jobs)
+	return p
+}
+
+// submitJobs hands freshly scheduled training jobs to the sink, outside
+// the pipeline lock. With no sink installed the jobs train synchronously
+// here — still off the lock, so concurrent streams keep serving, but on
+// this goroutine's serving path.
+func (o *Odin) submitJobs(jobs []TrainJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	o.mu.Lock()
+	sink := o.sink
+	o.mu.Unlock()
+	if sink != nil {
+		sink(jobs)
+		return
+	}
+	for _, job := range jobs {
+		start := time.Now()
+		m := o.Manager.BuildModel(job)
+		o.FinishJob(job, m, time.Since(start), nil)
+	}
 }
 
 // advanceLocked is Advance with o.mu held (ProcessBatch holds it across a
@@ -218,16 +310,21 @@ func (o *Odin) advanceLocked(f *synth.Frame, z []float64) Plan {
 		o.stats.DriftEvents++
 		res.Drift = a.Drift
 		seeds := o.takeOutliers(a.Drift.Cluster)
-		o.Manager.OnDrift(a.Drift, seeds, o.stats.Frames)
+		o.pendingJobs = append(o.pendingJobs, o.Manager.OnDrift(a.Drift, seeds, o.stats.Frames)...)
 	}
-	o.Manager.MaturePending(o.stats.Frames)
+	o.pendingJobs = append(o.pendingJobs, o.Manager.MaturePending(o.stats.Frames)...)
 
 	// SELECTOR: pick the ensemble, fall back to the baseline when no
-	// specialized model exists yet.
+	// specialized model exists yet. With async training the fallback IS the
+	// interim policy: a drifted cluster has no model until its job lands,
+	// so the previous-best selection (neighbouring cluster models or the
+	// baseline) keeps serving, flagged via RecoveryPending.
 	selection := o.Manager.selectFor(z, o.Detector.Clusters, o.Cfg.Selector)
 	if len(selection) == 0 {
 		selection = []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}}
 	}
+	res.ModelGen = o.Manager.Gen()
+	res.RecoveryPending = o.Manager.pendingFor(res.ClusterID)
 	return Plan{res: res, models: selection}
 }
 

@@ -40,17 +40,9 @@ func (o *Odin) ProcessBatch(frames []*synth.Frame, workers int) []Result {
 		workers = 1
 	}
 
-	// Stage 1 — project (parallel, pure).
-	latents := o.projectAll(frames, workers)
-
-	// Stage 2 — advance (serialized, in frame order, one lock acquisition
-	// for the whole window).
-	plans := make([]Plan, n)
-	o.mu.Lock()
-	for i, f := range frames {
-		plans[i] = o.advanceLocked(f, latents[i])
-	}
-	o.mu.Unlock()
+	// Stages 1+2 — project (parallel, pure), then advance (serialized, in
+	// frame order, one lock acquisition for the whole window).
+	plans := o.advanceAll(frames, workers)
 
 	// Stage 3 — execute (parallel, pure): group single-model frames by
 	// model for batched detection, shard the ensemble frames.
@@ -65,6 +57,44 @@ func (o *Odin) ProcessBatch(frames []*synth.Frame, workers int) []Result {
 	}
 	o.mu.Unlock()
 	return results
+}
+
+// advanceAll runs the batched front half shared by ProcessBatch and
+// CountBatch: every frame's latent (sharded), then the serialized drift
+// stage in frame order under one lock acquisition. Training jobs the
+// window scheduled (async mode) are handed off outside the lock. Keeping
+// this in one place is what guarantees the count-only path advances
+// cluster evolution, drift events, stats and training jobs identically to
+// the full path.
+func (o *Odin) advanceAll(frames []*synth.Frame, workers int) []Plan {
+	latents := o.projectAll(frames, workers)
+	plans := make([]Plan, len(frames))
+	o.mu.Lock()
+	for i, f := range frames {
+		plans[i] = o.advanceLocked(f, latents[i])
+	}
+	jobs := o.pendingJobs
+	o.pendingJobs = nil
+	o.mu.Unlock()
+	o.submitJobs(jobs)
+	return plans
+}
+
+// groupSingleModel partitions a window's plans for the execute stage:
+// frames whose plan selected exactly one detecting model, grouped by that
+// model (batched detection), and the rest (ensembles, model-less frames)
+// for per-frame execution.
+func groupSingleModel(plans []Plan) (groups map[*Model][]int, rest []int) {
+	groups = make(map[*Model][]int)
+	for i, p := range plans {
+		if len(p.models) == 1 && p.models[0].Model != nil && p.models[0].Model.Det != nil {
+			m := p.models[0].Model
+			groups[m] = append(groups[m], i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	return groups, rest
 }
 
 // projectAll computes every frame's latent. Encoding shards across the
@@ -99,16 +129,7 @@ func (o *Odin) projectAll(frames []*synth.Frame, workers int) [][]float64 {
 // frames that selected the same single model through DetectBatch and
 // sharding the rest.
 func (o *Odin) executeBatched(frames []*synth.Frame, plans []Plan, results []Result, workers int) {
-	groups := make(map[*Model][]int)
-	var rest []int
-	for i, p := range plans {
-		if len(p.models) == 1 && p.models[0].Model != nil && p.models[0].Model.Det != nil {
-			m := p.models[0].Model
-			groups[m] = append(groups[m], i)
-		} else {
-			rest = append(rest, i)
-		}
-	}
+	groups, rest := groupSingleModel(plans)
 
 	for m, idx := range groups {
 		if len(idx) == 1 {

@@ -260,9 +260,11 @@ func (g *GridDetector) decode(row []float64) []Detection {
 }
 
 // NMS applies per-class non-maximum suppression, keeping the highest-score
-// box of each overlapping group.
+// box of each overlapping group. The sort is stable so the counting path
+// (count.go), which sorts in place without allocating, suppresses exactly
+// the same boxes on score ties.
 func NMS(dets []Detection, iouThr float64) []Detection {
-	sort.Slice(dets, func(a, b int) bool { return dets[a].Score > dets[b].Score })
+	sort.SliceStable(dets, func(a, b int) bool { return dets[a].Score > dets[b].Score })
 	var keep []Detection
 	suppressed := make([]bool, len(dets))
 	for i := range dets {

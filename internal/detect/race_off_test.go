@@ -1,0 +1,6 @@
+//go:build !race
+
+package detect
+
+// raceEnabled gates allocation-count assertions.
+const raceEnabled = false

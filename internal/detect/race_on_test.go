@@ -1,0 +1,7 @@
+//go:build race
+
+package detect
+
+// raceEnabled gates allocation-count assertions: the race detector
+// randomises sync.Pool reuse, so alloc counts are not meaningful under it.
+const raceEnabled = true

@@ -1,0 +1,293 @@
+// Package dispatch is the server-level fleet scheduler: it merges ready
+// frame windows from many concurrent camera sessions into shared
+// ProcessBatch calls (cross-stream batched detection, the ECCO-style
+// sharing lever) and moves drift-triggered specializer training off the
+// serving path onto a background trainer (the EdgeMA-style async
+// adaptation). See DESIGN.md §7.
+package dispatch
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+
+	"odin/internal/core"
+	"odin/internal/synth"
+)
+
+// Pipeline is the slice of the core pipeline the batcher needs.
+type Pipeline interface {
+	ProcessBatch(frames []*synth.Frame, workers int) []core.Result
+}
+
+// Config tunes the batcher's flush policy.
+type Config struct {
+	// MaxBatch flushes the assembler as soon as the pending windows hold at
+	// least this many frames, bounding the merged batch (a single window
+	// larger than MaxBatch still flushes whole). 0 picks 64.
+	MaxBatch int
+	// MaxLinger bounds how long a submitted window waits to be co-batched
+	// with other sessions' windows. It is the batcher's no-starvation
+	// guarantee: every submitted window is processed within MaxLinger even
+	// if no other session ever submits. 0 picks 2ms.
+	MaxLinger time.Duration
+	// Workers is the ProcessBatch fan-out for merged batches. 0 picks 1.
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxLinger <= 0 {
+		c.MaxLinger = 2 * time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	return c
+}
+
+// window is one session's submitted frame window awaiting a flush.
+type window struct {
+	sessID uint64
+	frames []*synth.Frame
+	res    chan []core.Result // buffered 1: flushes never block on a consumer
+}
+
+// Stats is batcher telemetry.
+type Stats struct {
+	// Batches is the number of ProcessBatch calls issued.
+	Batches int
+	// Windows is the number of session windows flushed.
+	Windows int
+	// Frames is the total frames processed.
+	Frames int
+	// MaxMerge is the largest number of windows merged into one batch.
+	MaxMerge int
+}
+
+// Batcher assembles cross-stream batches: sessions submit in-order frame
+// windows, and the batcher flushes the assembler into one merged
+// ProcessBatch call when (a) the pending frames reach MaxBatch, (b) every
+// joined session has a window waiting — the fleet is ready, merging more
+// would stall someone — or (c) the oldest pending window has lingered
+// MaxLinger.
+//
+// Determinism: within a merged batch, windows are ordered by session join
+// order, so when sessions proceed in lock-step (every session submits a
+// window before any receives results — the shape Stream.Run produces when
+// all cameras are live), the serialized drift stage observes frames in
+// round-robin session order, reproducing the per-stream interleaving
+// exactly. See DESIGN.md §7 for the full contract.
+type Batcher struct {
+	pipe Pipeline
+	cfg  Config
+
+	mu            sync.Mutex
+	nextID        uint64
+	sessions      map[uint64]bool
+	pending       []*window
+	pendingFrames int
+	timerGen      uint64 // invalidates linger timers armed for a flushed assembler
+	stats         Stats
+}
+
+// NewBatcher creates a batcher over the pipeline.
+func NewBatcher(pipe Pipeline, cfg Config) *Batcher {
+	return &Batcher{
+		pipe:     pipe,
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[uint64]bool),
+	}
+}
+
+// Stats returns a snapshot of the batcher telemetry.
+func (b *Batcher) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// Session is one stream's handle on the batcher. Sessions are not safe for
+// concurrent use: a session carries at most one outstanding Submit at a
+// time (the natural shape of a Stream.Run loop).
+type Session struct {
+	b    *Batcher
+	id   uint64
+	left bool
+}
+
+// Join registers a new session. A joined session counts toward the
+// fleet-ready flush condition, so an idle joined session delays merged
+// flushes by up to MaxLinger; Leave when the session's window source ends.
+func (b *Batcher) Join() *Session {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	id := b.nextID
+	b.sessions[id] = true
+	return &Session{b: b, id: id}
+}
+
+// Leave unregisters the session. The remaining sessions may now be
+// fleet-ready, so Leave can trigger a flush. Idempotent.
+func (s *Session) Leave() {
+	b := s.b
+	b.mu.Lock()
+	if s.left {
+		b.mu.Unlock()
+		return
+	}
+	s.left = true
+	delete(b.sessions, s.id)
+	flush := b.takeReadyLocked()
+	b.mu.Unlock()
+	b.process(flush)
+}
+
+// Submit hands one in-order window of the session's frames to the batcher
+// and blocks until the merged batch containing it has been processed,
+// returning the window's results in frame order. On ctx cancellation a
+// window still in the assembler is withdrawn — its frames are never
+// processed — while a window already merged into an in-flight batch is
+// processed but its results discarded; either way Submit returns ctx.Err().
+func (s *Session) Submit(ctx context.Context, frames []*synth.Frame) ([]core.Result, error) {
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b := s.b
+	w := &window{sessID: s.id, frames: frames, res: make(chan []core.Result, 1)}
+	b.mu.Lock()
+	b.pending = append(b.pending, w)
+	b.pendingFrames += len(frames)
+	flush := b.takeReadyLocked()
+	if flush == nil {
+		b.armLingerLocked()
+	}
+	b.mu.Unlock()
+	b.process(flush)
+
+	select {
+	case rs := <-w.res:
+		return rs, nil
+	case <-ctx.Done():
+		b.withdraw(w)
+		// The flush may have raced the cancellation; prefer real results.
+		select {
+		case rs := <-w.res:
+			return rs, nil
+		default:
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// takeReadyLocked empties the assembler if a flush condition holds and
+// returns the windows to process (nil otherwise). Caller holds b.mu.
+func (b *Batcher) takeReadyLocked() []*window {
+	if b.pendingFrames == 0 {
+		return nil
+	}
+	if b.pendingFrames < b.cfg.MaxBatch && !b.fleetReadyLocked() {
+		return nil
+	}
+	return b.takeAllLocked()
+}
+
+// fleetReadyLocked reports whether every joined session has a window in
+// the assembler.
+func (b *Batcher) fleetReadyLocked() bool {
+	if len(b.sessions) == 0 || len(b.pending) < len(b.sessions) {
+		return false
+	}
+	have := make(map[uint64]bool, len(b.pending))
+	for _, w := range b.pending {
+		have[w.sessID] = true
+	}
+	for id := range b.sessions {
+		if !have[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// takeAllLocked empties the assembler and invalidates any armed linger
+// timer. Caller holds b.mu.
+func (b *Batcher) takeAllLocked() []*window {
+	ws := b.pending
+	b.pending = nil
+	b.pendingFrames = 0
+	b.timerGen++
+	return ws
+}
+
+// armLingerLocked starts the no-starvation timer when the assembler goes
+// non-empty. Caller holds b.mu.
+func (b *Batcher) armLingerLocked() {
+	if len(b.pending) != 1 {
+		return // already armed for this assembler generation
+	}
+	gen := b.timerGen
+	time.AfterFunc(b.cfg.MaxLinger, func() {
+		b.mu.Lock()
+		if gen != b.timerGen || len(b.pending) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		flush := b.takeAllLocked()
+		b.mu.Unlock()
+		b.process(flush)
+	})
+}
+
+// withdraw removes a window from the assembler if it has not been flushed
+// yet (cancelled Submit).
+func (b *Batcher) withdraw(w *window) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, pw := range b.pending {
+		if pw == w {
+			b.pending = append(b.pending[:i], b.pending[i+1:]...)
+			b.pendingFrames -= len(w.frames)
+			return
+		}
+	}
+}
+
+// process runs one merged batch: windows ordered by session join order (a
+// stable, deterministic cross-stream merge), frames concatenated, one
+// ProcessBatch call, results split back per window.
+func (b *Batcher) process(ws []*window) {
+	if len(ws) == 0 {
+		return
+	}
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].sessID < ws[j].sessID })
+	total := 0
+	for _, w := range ws {
+		total += len(w.frames)
+	}
+	merged := make([]*synth.Frame, 0, total)
+	for _, w := range ws {
+		merged = append(merged, w.frames...)
+	}
+	results := b.pipe.ProcessBatch(merged, b.cfg.Workers)
+	off := 0
+	for _, w := range ws {
+		w.res <- results[off : off+len(w.frames) : off+len(w.frames)]
+		off += len(w.frames)
+	}
+	b.mu.Lock()
+	b.stats.Batches++
+	b.stats.Windows += len(ws)
+	b.stats.Frames += total
+	if len(ws) > b.stats.MaxMerge {
+		b.stats.MaxMerge = len(ws)
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,212 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"odin/internal/core"
+)
+
+// ErrTrainerClosed marks training jobs dropped because the trainer shut
+// down before they ran; their recoveries roll back to the prior model.
+var ErrTrainerClosed = errors.New("dispatch: trainer closed")
+
+// TrainerStats is trainer telemetry.
+type TrainerStats struct {
+	// Trained counts jobs whose model was built and swapped in.
+	Trained int
+	// Failed counts jobs whose build errored or whose swap was rejected
+	// (cluster evicted mid-training, superseded model) — the pipeline kept
+	// the prior model.
+	Failed int
+	// Dropped counts jobs discarded by Close before they ran.
+	Dropped int
+}
+
+// Trainer drains drift-recovery training jobs on a single background
+// goroutine: each job's model is built from its frame snapshot outside the
+// pipeline lock (core.ModelManager.BuildModel), then swapped in atomically
+// via core.Odin.FinishJob. While a job trains, the pipeline keeps serving
+// every stream with the previous-best model — training is entirely off the
+// real-time path, which is what flattens the recovery-stall latency spike
+// (see odin-bench -exp dispatch).
+//
+// Jobs run in FIFO order, so a cluster's lite model always lands before
+// its specialized upgrade; overlapping drift events on different streams
+// simply queue. A failed build rolls back: FinishJob drops the job and the
+// prior model keeps serving.
+type Trainer struct {
+	pipe  *core.Odin
+	build func(core.TrainJob) (*core.Model, error)
+
+	mu      sync.Mutex
+	queue   []core.TrainJob
+	busy    bool
+	closed  bool
+	waiters []chan struct{}
+	stats   TrainerStats
+
+	wake chan struct{}
+	done chan struct{}
+}
+
+// NewTrainer starts a trainer over the pipeline and installs itself as the
+// pipeline's train sink. Close it to stop the background goroutine.
+func NewTrainer(pipe *core.Odin) *Trainer {
+	t := &Trainer{
+		pipe: pipe,
+		build: func(job core.TrainJob) (*core.Model, error) {
+			return pipe.Manager.BuildModel(job), nil
+		},
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	pipe.SetTrainSink(t.Enqueue)
+	go t.loop()
+	return t
+}
+
+// SetBuild replaces the model-build function (tests inject failures with
+// it). Call before any job is scheduled.
+func (t *Trainer) SetBuild(fn func(core.TrainJob) (*core.Model, error)) {
+	t.mu.Lock()
+	t.build = fn
+	t.mu.Unlock()
+}
+
+// Stats returns a snapshot of the trainer telemetry.
+func (t *Trainer) Stats() TrainerStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Enqueue appends jobs to the training queue without blocking. Jobs
+// enqueued after Close are dropped immediately (their recoveries roll
+// back), never silently leaked.
+func (t *Trainer) Enqueue(jobs []core.TrainJob) {
+	if len(jobs) == 0 {
+		return
+	}
+	t.mu.Lock()
+	if t.closed {
+		t.stats.Dropped += len(jobs)
+		t.mu.Unlock()
+		for _, job := range jobs {
+			t.pipe.FinishJob(job, nil, 0, ErrTrainerClosed)
+		}
+		return
+	}
+	t.queue = append(t.queue, jobs...)
+	t.mu.Unlock()
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the trainer goroutine: pop, build (lock-free), swap.
+func (t *Trainer) loop() {
+	defer close(t.done)
+	for {
+		t.mu.Lock()
+		if len(t.queue) == 0 {
+			t.busy = false
+			t.notifyIdleLocked()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			<-t.wake
+			continue
+		}
+		job := t.queue[0]
+		t.queue = t.queue[1:]
+		t.busy = true
+		build := t.build
+		t.mu.Unlock()
+
+		start := time.Now()
+		m, err := build(job)
+		installed := t.pipe.FinishJob(job, m, time.Since(start), err)
+
+		t.mu.Lock()
+		if installed {
+			t.stats.Trained++
+		} else {
+			t.stats.Failed++
+		}
+		t.mu.Unlock()
+	}
+}
+
+// notifyIdleLocked wakes Wait callers when the trainer drains.
+func (t *Trainer) notifyIdleLocked() {
+	for _, ch := range t.waiters {
+		close(ch)
+	}
+	t.waiters = nil
+}
+
+// Wait blocks until every scheduled recovery has landed or rolled back —
+// the trainer queue is empty, no job is mid-build, and the pipeline
+// reports no outstanding jobs — or ctx is done.
+func (t *Trainer) Wait(ctx context.Context) error {
+	for {
+		t.mu.Lock()
+		idle := len(t.queue) == 0 && !t.busy
+		var ch chan struct{}
+		if !idle {
+			ch = make(chan struct{})
+			t.waiters = append(t.waiters, ch)
+		}
+		t.mu.Unlock()
+		if idle {
+			if t.pipe.PendingRecoveries() == 0 {
+				return nil
+			}
+			// A job is scheduled but not yet enqueued (the scheduling
+			// goroutine is between releasing the pipeline lock and calling
+			// the sink) — yield briefly and re-check.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(200 * time.Microsecond):
+			}
+			continue
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Close stops the trainer: queued jobs are dropped (their recoveries roll
+// back to the prior model) and the call blocks until the background
+// goroutine — including any job mid-build — has exited. Idempotent.
+func (t *Trainer) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		<-t.done
+		return
+	}
+	t.closed = true
+	dropped := t.queue
+	t.queue = nil
+	t.stats.Dropped += len(dropped)
+	t.mu.Unlock()
+	for _, job := range dropped {
+		t.pipe.FinishJob(job, nil, 0, ErrTrainerClosed)
+	}
+	select {
+	case t.wake <- struct{}{}:
+	default:
+	}
+	<-t.done
+}

@@ -1,0 +1,178 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"odin/internal/cluster"
+	"odin/internal/core"
+	"odin/internal/detect"
+	"odin/internal/synth"
+	"odin/internal/tensor"
+)
+
+// trainerStatsProjector mirrors core's test stand-in for the DA-GAN: cheap
+// appearance statistics that separate the synthetic domains.
+type trainerStatsProjector struct{}
+
+func (trainerStatsProjector) LatentDim() int { return 8 }
+
+func (trainerStatsProjector) Project(x []float64) []float64 {
+	n := len(x)
+	third := n / 3
+	z := make([]float64, 8)
+	z[0] = tensor.Mean(x) * 10
+	z[1] = math.Sqrt(tensor.Variance(x)) * 10
+	for c := 0; c < 3; c++ {
+		z[2+c] = tensor.Mean(x[c*third:(c+1)*third]) * 10
+	}
+	z[5] = tensor.Mean(x[:n/2]) * 10
+	z[6] = tensor.Mean(x[n/2:]) * 10
+	z[7] = (z[5] - z[6]) * 2
+	return z
+}
+
+// trainerTestPipe builds a small async pipeline that drifts quickly.
+func trainerTestPipe(t *testing.T) (*core.Odin, *synth.SceneGen) {
+	t.Helper()
+	scene := synth.DefaultSceneConfig()
+	gen := synth.NewSceneGen(6, scene)
+	base := detect.NewGridDetector(detect.YOLOConfig(scene.H, scene.W))
+	base.Fit(detect.SamplesFromFrames(gen.Dataset(synth.FullData, 60)), 4, 16)
+	cfg := core.DefaultConfig(scene)
+	ccfg := cluster.DefaultConfig()
+	ccfg.MinPoints = 40
+	ccfg.StabilitySteps = 10
+	ccfg.TempWindow = 80
+	cfg.Cluster = ccfg
+	cfg.Spec.LiteEpochs = 2
+	cfg.Spec.SpecEpochs = 2
+	cfg.Spec.LabelDelay = 10_000
+	cfg.Spec.MaxTrainFrames = 120
+	cfg.AsyncTrain = true
+	return core.New(cfg, trainerStatsProjector{}, base), gen
+}
+
+// driftOnce processes frames until the first drift event.
+func driftOnce(t *testing.T, o *core.Odin, gen *synth.SceneGen) {
+	t.Helper()
+	for i := 0; i < 400; i++ {
+		if r := o.Process(gen.GenerateSubset(synth.DayData)); r.Drift != nil {
+			return
+		}
+	}
+	t.Fatal("no drift within 400 frames")
+}
+
+// TestTrainerLandsRecovery: a drift-scheduled job trains on the background
+// goroutine and swaps in; Wait observes the swap.
+func TestTrainerLandsRecovery(t *testing.T) {
+	pipe, gen := trainerTestPipe(t)
+	tr := NewTrainer(pipe)
+	defer tr.Close()
+
+	driftOnce(t, pipe, gen)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := tr.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if pipe.Manager.NumModels() != 1 {
+		t.Fatalf("models resident %d after recovery", pipe.Manager.NumModels())
+	}
+	if pipe.PendingRecoveries() != 0 {
+		t.Fatal("recovery still pending after Wait")
+	}
+	if st := tr.Stats(); st.Trained != 1 || st.Failed != 0 {
+		t.Fatalf("trainer stats %+v", st)
+	}
+	if pipe.ModelGen() != 1 {
+		t.Fatalf("model generation %d", pipe.ModelGen())
+	}
+}
+
+// TestTrainerFailureRollsBack: a failing build leaves the prior model
+// serving and counts as Failed — the satellite's rollback contract.
+func TestTrainerFailureRollsBack(t *testing.T) {
+	pipe, gen := trainerTestPipe(t)
+	tr := NewTrainer(pipe)
+	defer tr.Close()
+	boom := errors.New("synthetic trainer crash")
+	tr.SetBuild(func(core.TrainJob) (*core.Model, error) { return nil, boom })
+
+	driftOnce(t, pipe, gen)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := tr.Wait(ctx); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if pipe.Manager.NumModels() != 0 {
+		t.Fatal("failed build must not install a model")
+	}
+	if st := tr.Stats(); st.Failed != 1 || st.Trained != 0 {
+		t.Fatalf("trainer stats %+v", st)
+	}
+	// The pipeline keeps serving on the previous-best model (the baseline).
+	r := pipe.Process(gen.GenerateSubset(synth.DayData))
+	if len(r.ModelsUsed) != 1 || r.ModelsUsed[0] != "YOLO" {
+		t.Fatalf("rollback should keep the baseline serving, got %v", r.ModelsUsed)
+	}
+	if r.ModelGen != 0 {
+		t.Fatalf("generation bumped by a failed job: %d", r.ModelGen)
+	}
+}
+
+// TestTrainerCloseDropsQueue: Close with queued jobs drops them, rolls
+// their recoveries back, and still joins the goroutine mid-build.
+func TestTrainerCloseDropsQueue(t *testing.T) {
+	pipe, _ := trainerTestPipe(t)
+	tr := NewTrainer(pipe)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	tr.SetBuild(func(core.TrainJob) (*core.Model, error) {
+		once.Do(func() { close(started) })
+		<-release
+		return nil, errors.New("aborted")
+	})
+	job := core.TrainJob{Kind: detect.KindLite, ClusterID: 999}
+	tr.Enqueue([]core.TrainJob{job})
+	<-started // first job is mid-build
+	tr.Enqueue([]core.TrainJob{{Kind: detect.KindSpecialized, ClusterID: 998}})
+
+	done := make(chan struct{})
+	go func() { tr.Close(); close(done) }()
+	// Let Close mark the trainer closed (dropping the queued job) before
+	// releasing the in-flight build.
+	for {
+		tr.mu.Lock()
+		closed := tr.closed
+		tr.mu.Unlock()
+		if closed {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Close did not join the trainer goroutine")
+	}
+	st := tr.Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("dropped %d queued jobs, want 1", st.Dropped)
+	}
+	// Jobs enqueued after Close are dropped immediately, not leaked.
+	tr.Enqueue([]core.TrainJob{{Kind: detect.KindLite, ClusterID: 997}})
+	if st := tr.Stats(); st.Dropped != 2 {
+		t.Fatalf("post-close enqueue not dropped: %+v", st)
+	}
+	if pipe.PendingRecoveries() != 0 {
+		t.Fatal("dropped jobs left recoveries pending")
+	}
+}

@@ -100,6 +100,11 @@ func SoftmaxCE(logits *tensor.Mat, labels []int) (float64, *tensor.Mat) {
 // Softmax returns the softmax of a logit row.
 func Softmax(row []float64) []float64 { return softmax(row) }
 
+// SoftmaxInto writes softmax(row) into out (len(out) == len(row)) without
+// allocating — the single source of the softmax op order, so callers that
+// avoid the allocating Softmax still get bit-identical probabilities.
+func SoftmaxInto(out, row []float64) { softmaxInto(out, row) }
+
 func softmax(row []float64) []float64 {
 	out := make([]float64, len(row))
 	softmaxInto(out, row)

@@ -25,6 +25,13 @@ type BatchModelFunc func(frames []*synth.Frame) [][]detect.Detection
 // before the heavyweight model runs (§6.6 "lightweight filters").
 type FilterFunc func(f *synth.Frame) bool
 
+// CountModelFunc is the COUNT-pushdown binding of a model: it returns, per
+// frame, the number of detections clearing minScore whose class matches
+// class (class < 0 counts every class) — without materialising detection
+// boxes. COUNT-only plans prefer it over the batch/per-frame bindings; its
+// counts must equal filtering the full binding's output.
+type CountModelFunc func(frames []*synth.Frame, class int, minScore float64) []int
+
 // Engine prepares and executes queries over a frame source. Registration,
 // preparation and execution are safe for concurrent use: the registries
 // and the score floor are guarded by a read-write mutex (registrations are
@@ -34,6 +41,7 @@ type Engine struct {
 	mu          sync.RWMutex
 	models      map[string]ModelFunc
 	batchModels map[string]BatchModelFunc
+	countModels map[string]CountModelFunc
 	filters     map[string]FilterFunc
 	minScore    float64
 }
@@ -46,6 +54,7 @@ func NewEngine() *Engine {
 	return &Engine{
 		models:      make(map[string]ModelFunc),
 		batchModels: make(map[string]BatchModelFunc),
+		countModels: make(map[string]CountModelFunc),
 		filters:     make(map[string]FilterFunc),
 		minScore:    DefaultMinScore,
 	}
@@ -83,6 +92,17 @@ func (e *Engine) RegisterBatchModel(name string, fn BatchModelFunc) {
 	e.batchModels[name] = fn
 }
 
+// RegisterCountModel binds a count-only fast path for an already
+// registered model name: COUNT plans compiled after the registration
+// execute it instead of the batch/per-frame binding, skipping detection
+// materialisation. It never makes an otherwise unregistered name valid —
+// a model must still have a batch or per-frame binding.
+func (e *Engine) RegisterCountModel(name string, fn CountModelFunc) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.countModels[name] = fn
+}
+
 // RegisterFilter binds a filter name usable in USING FILTER clauses.
 func (e *Engine) RegisterFilter(name string, fn FilterFunc) {
 	e.mu.Lock()
@@ -98,13 +118,14 @@ func (e *Engine) lookupFilter(name string) (FilterFunc, bool) {
 	return fn, ok
 }
 
-// lookupModel returns the registered batch and per-frame bindings of name.
-func (e *Engine) lookupModel(name string) (BatchModelFunc, bool, ModelFunc, bool) {
+// lookupModel returns the registered batch, per-frame and count bindings
+// of name.
+func (e *Engine) lookupModel(name string) (BatchModelFunc, bool, ModelFunc, bool, CountModelFunc) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	bfn, batched := e.batchModels[name]
 	fn, single := e.models[name]
-	return bfn, batched, fn, single
+	return bfn, batched, fn, single, e.countModels[name]
 }
 
 // Result is the output of executing a query.

@@ -58,8 +58,9 @@ type Plan struct {
 	model    string
 	batch    BatchModelFunc
 	single   ModelFunc
-	class    int    // -1: no class predicate
-	classVal string // predicate spelling, for Explain
+	counter  CountModelFunc // COUNT pushdown: non-nil only for COUNT plans
+	class    int            // -1: no class predicate
+	classVal string         // predicate spelling, for Explain
 	minScore float64
 }
 
@@ -111,11 +112,16 @@ func (e *Engine) Prepare(q *Query, opts ...PrepareOption) (*Plan, error) {
 			return nil, fmt.Errorf("%w (%q and %q)", ErrMultipleModels, p.model, lv.UseModel)
 		}
 		p.model = lv.UseModel
-		bfn, batched, fn, single := e.lookupModel(lv.UseModel)
+		bfn, batched, fn, single, cfn := e.lookupModel(lv.UseModel)
 		if !batched && !single {
 			return nil, fmt.Errorf("%w %q", ErrUnknownModel, lv.UseModel)
 		}
 		p.batch, p.single = bfn, fn
+		// COUNT projection pushdown: a COUNT-only plan needs no boxes, so
+		// a count-capable binding replaces the detection stage entirely.
+		if p.sel == SelectCount && cfn != nil {
+			p.counter = cfn
+		}
 		if lv.Where != nil {
 			p.class = resolveClass(lv.Where.Value)
 			p.classVal = lv.Where.Value
@@ -146,6 +152,9 @@ func (p *Plan) Explain() string {
 		mode := "per-frame"
 		if p.batch != nil {
 			mode = "batched"
+		}
+		if p.counter != nil {
+			mode = "count-pushdown"
 		}
 		fmt.Fprintf(&b, " -> model(%s, %s)", p.model, mode)
 		if p.class >= 0 {
@@ -196,6 +205,27 @@ func (p *Plan) Execute(ctx context.Context, frames []*synth.Frame) (*Result, err
 			liveIdx = append(liveIdx, i)
 		}
 	}
+	// COUNT pushdown: the count binding applies the score floor and class
+	// predicate inside the model's execute stage, so no detection boxes are
+	// materialised anywhere on the path.
+	if p.counter != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		counts := p.counter(liveFrames, p.class, p.minScore)
+		if len(counts) != len(liveFrames) {
+			return nil, fmt.Errorf("query: count model %q returned %d counts for %d frames",
+				p.model, len(counts), len(liveFrames))
+		}
+		res.PerFrame = make([]int, len(frames))
+		for k, i := range liveIdx {
+			res.ModelFrames++
+			res.PerFrame[i] = counts[k]
+			res.Count += counts[k]
+		}
+		return res, nil
+	}
+
 	var dets [][]detect.Detection
 	if p.batch != nil {
 		if err := ctx.Err(); err != nil {

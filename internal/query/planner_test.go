@@ -316,6 +316,127 @@ func TestExecuteOverMatchesExecute(t *testing.T) {
 	}
 }
 
+// countingOracle returns the count binding equivalent to oracleModel.
+func countingOracle(calls *int) CountModelFunc {
+	return func(frames []*synth.Frame, class int, minScore float64) []int {
+		if calls != nil {
+			*calls++
+		}
+		out := make([]int, len(frames))
+		for i, f := range frames {
+			for _, d := range oracleModel(f) {
+				if d.Score >= minScore && (class < 0 || d.Box.Class == class) {
+					out[i]++
+				}
+			}
+		}
+		return out
+	}
+}
+
+// TestCountPushdown: a COUNT plan compiled against a count-capable model
+// executes the count binding (no detection stage) and matches the full
+// path's result exactly — filters still run first, and the score floor
+// and class predicate are pushed into the binding.
+func TestCountPushdown(t *testing.T) {
+	frames := makeFrames(27, 14)
+	sql := "SELECT COUNT(detections) FROM (SELECT * FROM bdd USING FILTER odd) USING MODEL oracle WHERE class='car'"
+
+	mkEngine := func(pushdown bool, calls *int) *Engine {
+		e := NewEngine()
+		e.RegisterModel("oracle", oracleModel)
+		if pushdown {
+			e.RegisterCountModel("oracle", countingOracle(calls))
+		}
+		i := -1
+		e.RegisterFilter("odd", func(*synth.Frame) bool { i++; return i%2 == 1 })
+		return e
+	}
+
+	want, err := mkEngine(false, nil).Run(context.Background(), sql, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	e := mkEngine(true, &calls)
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "scan(bdd) -> filter(odd) -> model(oracle, count-pushdown) -> where(class='car') -> min_score(0.30) -> count"; p.Explain() != want {
+		t.Fatalf("Explain:\n got  %s\n want %s", p.Explain(), want)
+	}
+	got, err := p.Execute(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("count binding ran %d times, want 1", calls)
+	}
+	if got.Count != want.Count || got.ModelFrames != want.ModelFrames || got.FramesFiltered != want.FramesFiltered {
+		t.Fatalf("pushdown result %+v, want %+v", got, want)
+	}
+	for i := range want.PerFrame {
+		if got.PerFrame[i] != want.PerFrame[i] {
+			t.Fatalf("per-frame %d: %d vs %d", i, got.PerFrame[i], want.PerFrame[i])
+		}
+	}
+	if got.Detections != nil {
+		t.Fatal("COUNT pushdown must not materialise detections")
+	}
+
+	// Non-COUNT projections must ignore the count binding.
+	q2, err := Parse("SELECT detections FROM bdd USING MODEL oracle")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.Prepare(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p2.Explain(), "count-pushdown") {
+		t.Fatalf("SELECT detections plan used the count binding: %s", p2.Explain())
+	}
+	res2, err := p2.Execute(context.Background(), frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Detections == nil {
+		t.Fatal("SELECT detections should materialise boxes")
+	}
+
+	// A count binding alone never makes an unregistered name valid.
+	e2 := NewEngine()
+	e2.RegisterCountModel("ghost", countingOracle(nil))
+	q3, _ := Parse("SELECT COUNT(detections) FROM bdd USING MODEL ghost")
+	if _, err := e2.Prepare(q3); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("count-only binding should stay unknown, got %v", err)
+	}
+}
+
+// TestCountPushdownBadBinding: a count binding returning the wrong shape
+// is a typed execution error, not a panic or silent truncation.
+func TestCountPushdownBadBinding(t *testing.T) {
+	frames := makeFrames(28, 4)
+	e := NewEngine()
+	e.RegisterModel("oracle", oracleModel)
+	e.RegisterCountModel("oracle", func(fs []*synth.Frame, class int, minScore float64) []int {
+		return make([]int, len(fs)-1)
+	})
+	q, _ := Parse("SELECT COUNT(detections) FROM bdd USING MODEL oracle")
+	p, err := e.Prepare(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Execute(context.Background(), frames); err == nil || !strings.Contains(err.Error(), "count model") {
+		t.Fatalf("short count result should error, got %v", err)
+	}
+}
+
 // TestFilterOnlyPlan: a query with no model is a pure filter scan.
 func TestFilterOnlyPlan(t *testing.T) {
 	frames := makeFrames(26, 8)

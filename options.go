@@ -3,6 +3,7 @@ package odin
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"odin/internal/query"
 )
@@ -19,19 +20,27 @@ type config struct {
 	policy          Policy
 	workers         int
 	minScore        float64
+
+	dispatcher       bool
+	dispatchMaxBatch int
+	dispatchLinger   time.Duration
+	trainAsync       bool
+	labelDelay       int // 0: keep the specializer default
 }
 
 func defaultConfig() config {
 	return config{
-		seed:            1,
-		bootstrapFrames: 600,
-		bootstrapEpochs: 8,
-		baselineEpochs:  40,
-		maxModels:       0,
-		driftRecovery:   true,
-		policy:          PolicyDeltaBM,
-		workers:         runtime.GOMAXPROCS(0),
-		minScore:        query.DefaultMinScore,
+		seed:             1,
+		bootstrapFrames:  600,
+		bootstrapEpochs:  8,
+		baselineEpochs:   40,
+		maxModels:        0,
+		driftRecovery:    true,
+		policy:           PolicyDeltaBM,
+		workers:          runtime.GOMAXPROCS(0),
+		minScore:         query.DefaultMinScore,
+		dispatchMaxBatch: 64,
+		dispatchLinger:   2 * time.Millisecond,
 	}
 }
 
@@ -128,6 +137,81 @@ func WithMinScore(s float64) Option {
 			return fmt.Errorf("odin: min score must be in [0,1], got %v", s)
 		}
 		c.minScore = s
+		return nil
+	}
+}
+
+// WithDispatcher routes every Stream.Run session through the server's
+// fleet dispatcher: ready frame windows from all active sessions merge
+// into shared ProcessBatch calls, amortising batched detection across
+// cameras. Merged batches advance frames in session join order, so with
+// inline training the dispatched fleet reproduces per-stream results
+// bit for bit (see DESIGN.md §7). Merged batches run at the server-wide
+// worker budget (WithWorkers); a StreamOptions.Workers override then
+// applies only to synchronous Process calls. Default off — each Run
+// session batches only its own frames.
+func WithDispatcher(on bool) Option {
+	return func(c *config) error {
+		c.dispatcher = on
+		return nil
+	}
+}
+
+// WithMaxBatch sets the dispatcher's merged-batch flush threshold: the
+// assembler flushes as soon as the pending windows hold at least n frames
+// (default 64). Only meaningful with WithDispatcher.
+func WithMaxBatch(n int) Option {
+	return func(c *config) error {
+		if n <= 0 {
+			return fmt.Errorf("odin: dispatcher max batch must be positive, got %d", n)
+		}
+		c.dispatchMaxBatch = n
+		return nil
+	}
+}
+
+// WithMaxLinger bounds how long a submitted window waits in the
+// dispatcher's assembler to be co-batched with other cameras' windows
+// (default 2ms). It is the no-starvation guarantee: every window is
+// processed within this bound even if every other camera goes idle. Only
+// meaningful with WithDispatcher.
+func WithMaxLinger(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("odin: dispatcher max linger must be positive, got %v", d)
+		}
+		c.dispatchLinger = d
+		return nil
+	}
+}
+
+// WithTrainAsync moves drift-triggered specializer training off the
+// serving path onto a background trainer goroutine: drift events schedule
+// training jobs, frames are served by the previous-best model in the
+// interim (surfaced as StreamResult.RecoveryPending), and the trained
+// model is swapped in atomically when ready — eliminating the per-fleet
+// latency spike of inline training. Track swaps with Server.ModelGen /
+// PendingRecoveries / WaitRecoveries. Default off: training runs inline,
+// which keeps results deterministic.
+func WithTrainAsync(on bool) Option {
+	return func(c *config) error {
+		c.trainAsync = on
+		return nil
+	}
+}
+
+// WithLabelDelay sets how many stream frames after a drift event oracle
+// labels become available (§5.2): the distilled YOLO-Lite serves from the
+// drift onward, and the oracle-trained specialized model replaces it once
+// the delay elapses. Larger delays keep recoveries on the cheap lite
+// models; a delay longer than the stream defers specialized training
+// entirely. Default 600.
+func WithLabelDelay(frames int) Option {
+	return func(c *config) error {
+		if frames <= 0 {
+			return fmt.Errorf("odin: label delay must be positive, got %d", frames)
+		}
+		c.labelDelay = frames
 		return nil
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package odin
+
+// raceEnabled scales test timeouts under the race detector.
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package odin
+
+// raceEnabled scales test timeouts under the race detector (roughly a
+// 10–20× slowdown on the training-heavy fleet tests).
+const raceEnabled = true

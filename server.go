@@ -8,6 +8,7 @@ import (
 
 	"odin/internal/core"
 	"odin/internal/detect"
+	"odin/internal/dispatch"
 	"odin/internal/gan"
 	"odin/internal/query"
 	"odin/internal/synth"
@@ -52,7 +53,9 @@ type Server struct {
 	pipeline *core.Odin
 	engine   *query.Engine
 	baseline *detect.GridDetector
-	booting  bool // a Bootstrap is training outside the lock
+	batcher  *dispatch.Batcher // fleet dispatcher (WithDispatcher); nil otherwise
+	trainer  *dispatch.Trainer // async recovery trainer (WithTrainAsync); nil otherwise
+	booting  bool              // a Bootstrap is training outside the lock
 	booted   bool
 	closed   bool
 }
@@ -147,8 +150,27 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 	cfg := core.DefaultConfig(s.scene)
 	cfg.Cluster.MaxClusters = s.cfg.maxModels
 	cfg.DriftRecovery = s.cfg.driftRecovery
+	cfg.AsyncTrain = s.cfg.trainAsync
+	if s.cfg.labelDelay > 0 {
+		cfg.Spec.LabelDelay = s.cfg.labelDelay
+	}
 	cfg.Selector.Policy, _ = s.cfg.policy.corePolicy() // validated by WithPolicy
 	pipeline := core.New(cfg, dagan, baseline)
+
+	// The fleet subsystem: the trainer takes drift recoveries off the
+	// serving path, the batcher merges Run-session windows across streams.
+	var trainer *dispatch.Trainer
+	if s.cfg.trainAsync {
+		trainer = dispatch.NewTrainer(pipeline)
+	}
+	var batcher *dispatch.Batcher
+	if s.cfg.dispatcher {
+		batcher = dispatch.NewBatcher(pipeline, dispatch.Config{
+			MaxBatch:  s.cfg.dispatchMaxBatch,
+			MaxLinger: s.cfg.dispatchLinger,
+			Workers:   s.cfg.workers,
+		})
+	}
 
 	// Built-in query models: the drift-aware pipeline (sharded + batched)
 	// and the static baseline (batched forward pass).
@@ -168,15 +190,33 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 		}
 		return baseline.DetectBatch(imgs)
 	})
+	// COUNT projection pushdown: COUNT-only plans count inside the execute
+	// stage instead of materialising detection boxes.
+	s.engine.RegisterCountModel("odin", func(frames []*synth.Frame, class int, minScore float64) []int {
+		return pipeline.CountBatch(frames, workers, class, minScore)
+	})
+	s.engine.RegisterCountModel("yolo", func(frames []*synth.Frame, class int, minScore float64) []int {
+		imgs := make([]*synth.Image, len(frames))
+		for i, f := range frames {
+			imgs[i] = f.Image
+		}
+		return baseline.CountBatch(imgs, class, minScore)
+	})
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed { // Close landed while training
+		s.mu.Unlock()
+		if trainer != nil {
+			trainer.Close()
+		}
 		return ErrServerClosed
 	}
 	s.pipeline = pipeline
 	s.baseline = baseline
+	s.batcher = batcher
+	s.trainer = trainer
 	s.booted = true
+	s.mu.Unlock()
 	return nil
 }
 
@@ -325,11 +365,63 @@ func (s *Server) NumModels() int {
 	return p.NumModels()
 }
 
-// Close marks the server closed. Subsequent Bootstrap, OpenStream, Query
-// and Stream operations return ErrServerClosed; in-flight frames finish.
-func (s *Server) Close() error {
+// ModelGen returns the model-set generation: it increments every time a
+// trained model is swapped in (inline or async), and every StreamResult
+// carries the generation that served it. 0 before Bootstrap.
+func (s *Server) ModelGen() uint64 {
+	p, err := s.pipe()
+	if err != nil {
+		return 0
+	}
+	return p.ModelGen()
+}
+
+// PendingRecoveries returns the number of drift recoveries scheduled but
+// not yet swapped in. Always 0 with inline training (WithTrainAsync off).
+func (s *Server) PendingRecoveries() int {
+	p, err := s.pipe()
+	if err != nil {
+		return 0
+	}
+	return p.PendingRecoveries()
+}
+
+// WaitRecoveries blocks until every scheduled drift recovery has been
+// swapped in or rolled back, or ctx is done. With inline training (or
+// before Bootstrap) it returns nil immediately.
+func (s *Server) WaitRecoveries(ctx context.Context) error {
+	s.mu.Lock()
+	tr := s.trainer
+	s.mu.Unlock()
+	if tr == nil {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return tr.Wait(ctx)
+}
+
+// dispatcher returns the fleet batcher Run sessions route through (nil
+// when WithDispatcher is off or Bootstrap has not run).
+func (s *Server) dispatcher() *dispatch.Batcher {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.batcher
+}
+
+// Close marks the server closed. Subsequent Bootstrap, OpenStream, Query
+// and Stream operations return ErrServerClosed; in-flight frames finish.
+// The async trainer (if any) is stopped: queued recoveries are dropped and
+// roll back to the prior model, and Close blocks until a job mid-training
+// has finished.
+func (s *Server) Close() error {
+	s.mu.Lock()
 	s.closed = true
+	tr := s.trainer
+	s.mu.Unlock()
+	if tr != nil {
+		tr.Close()
+	}
 	return nil
 }

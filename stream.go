@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sync"
 
+	"odin/internal/dispatch"
 	"odin/internal/query"
 )
 
@@ -14,7 +15,11 @@ type StreamOptions struct {
 	Name string
 	// Workers bounds the sharded fan-out of the per-frame
 	// project→select→detect stages. 0 uses the server default
-	// (WithWorkers, which itself defaults to GOMAXPROCS).
+	// (WithWorkers, which itself defaults to GOMAXPROCS). On a server
+	// built WithDispatcher, Run windows are merged across streams and
+	// processed at the server-wide worker budget, so Workers then applies
+	// only to synchronous Process calls; results are identical at every
+	// worker count either way.
 	Workers int
 	// MaxBatch caps how many already-arrived frames one Run dispatch
 	// aggregates. Larger windows amortise better (batched detection) at
@@ -63,6 +68,15 @@ type WindowResult struct {
 	// misbehaved). An errored window carries no aggregate and is the
 	// subscription's final emission: the channel closes after it.
 	Err error
+	// GenLo and GenHi are the lowest and highest model-set generation that
+	// served the window's frames — a window spanning a model swap reports
+	// GenLo < GenHi, so per-window accuracy shifts can be attributed to
+	// the swap.
+	GenLo, GenHi uint64
+	// RecoveryPending counts the window's frames served while a drift
+	// recovery was still training (async mode; always 0 inline) — the
+	// per-window visibility of the interim previous-best policy.
+	RecoveryPending int
 	QueryResult
 }
 
@@ -81,6 +95,9 @@ type subscription struct {
 	start  int
 	frames []*Frame
 	dets   [][]Detection
+	genLo  uint64
+	genHi  uint64
+	pendN  int
 	closed bool
 }
 
@@ -91,7 +108,10 @@ type subscription struct {
 // model) is reported as a WindowResult carrying Err, so the consumer can
 // distinguish it from a normal end of session.
 func (sub *subscription) window() WindowResult {
-	wr := WindowResult{Window: sub.win, StartSeq: sub.start, EndSeq: sub.start + len(sub.frames) - 1}
+	wr := WindowResult{
+		Window: sub.win, StartSeq: sub.start, EndSeq: sub.start + len(sub.frames) - 1,
+		GenLo: sub.genLo, GenHi: sub.genHi, RecoveryPending: sub.pendN,
+	}
 	if sub.shared {
 		wr.QueryResult = *sub.plan.ExecuteOver(sub.frames, sub.dets)
 	} else if res, err := sub.plan.Execute(sub.ctx, sub.frames); err != nil {
@@ -256,8 +276,18 @@ func (st *Stream) deliverSubs(ctx context.Context, batch []*Frame, results []Res
 		for i, f := range batch {
 			if len(sub.frames) == 0 {
 				sub.start = seqBase + i
+				sub.genLo, sub.genHi = results[i].ModelGen, results[i].ModelGen
+				sub.pendN = 0
 			}
 			sub.frames = append(sub.frames, f)
+			if g := results[i].ModelGen; g < sub.genLo {
+				sub.genLo = g
+			} else if g > sub.genHi {
+				sub.genHi = g
+			}
+			if results[i].RecoveryPending {
+				sub.pendN++
+			}
 			if sub.shared {
 				sub.dets = append(sub.dets, results[i].Detections)
 			}
@@ -336,6 +366,12 @@ func (st *Stream) finishSubs(ctx context.Context, clean bool) {
 // error. A stream carries at most one Run session at a time: a second Run
 // while one is active also returns an immediately-closed channel, leaving
 // the active session and its subscriptions untouched.
+//
+// On a server built WithDispatcher, the session joins the fleet batcher
+// before Run returns: its windows merge with other cameras' windows into
+// shared ProcessBatch calls (ordered by session join order), and the
+// session leaves the fleet when the loop exits. Results are still
+// delivered in this stream's frame order.
 func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -355,6 +391,26 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 		st.finishSubs(ctx, false)
 		return out
 	}
+	// Join the fleet before returning, so callers that start N Runs in
+	// order get deterministic session join order (the dispatcher's merge
+	// order) regardless of goroutine scheduling.
+	var sess *dispatch.Session
+	submitCtx := ctx
+	var stopWatch context.CancelFunc
+	if bat := st.srv.dispatcher(); bat != nil {
+		sess = bat.Join()
+		// Submit must also wake on Stream.Close; fold st.done into the
+		// context it honours.
+		c, cancel := context.WithCancel(ctx)
+		submitCtx, stopWatch = c, cancel
+		go func() {
+			select {
+			case <-st.done:
+				cancel()
+			case <-c.Done():
+			}
+		}()
+	}
 	go func() {
 		clean := false
 		// LIFO: out closes first, then subscriptions flush — so a consumer
@@ -362,6 +418,10 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 		// final window flush.
 		defer func() { st.finishSubs(ctx, clean) }()
 		defer close(out)
+		if sess != nil {
+			defer stopWatch()
+			defer sess.Leave()
+		}
 		seq := 0
 		batch := make([]*Frame, 0, st.maxBatch)
 		for {
@@ -393,7 +453,16 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 				}
 			}
 
-			results := p.ProcessBatch(batch, st.workers)
+			var results []Result
+			if sess != nil {
+				rs, err := sess.Submit(submitCtx, batch)
+				if err != nil {
+					return // run context cancelled or stream closed
+				}
+				results = rs
+			} else {
+				results = p.ProcessBatch(batch, st.workers)
+			}
 			// Standing queries observe the window before the per-frame
 			// results go out, reusing the same sharded detections.
 			if !st.deliverSubs(ctx, batch, results, seq) {
