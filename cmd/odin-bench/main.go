@@ -5,25 +5,31 @@
 //
 //	odin-bench [-scale quick|full] [-exp all|fig1|fig2|fig4|fig5|table1|
 //	            table2|fig8|table3|table4|table5|fig9|table6|table7|
-//	            stream|query|dispatch] [-streamout BENCH_stream.json]
-//	            [-queryout BENCH_query.json] [-dispatchout BENCH_dispatch.json] [-v]
+//	            stream|query|dispatch|backend] [-workers 1,2,4,8]
+//	            [-streamout BENCH_stream.json] [-queryout BENCH_query.json]
+//	            [-dispatchout BENCH_dispatch.json]
+//	            [-backendout BENCH_backend.json] [-v]
 //
 // Experiments share one context, so models trained for an earlier
-// experiment are reused by later ones. Three experiments drive the public
+// experiment are reused by later ones. Four experiments drive the public
 // odin.Server API instead: "stream" compares sequential Stream.Process
-// against sharded Stream.Run at 1/4/8 workers on the Fig9 drift stream
-// (frames/sec series → -streamout), "query" measures prepared-query
-// throughput vs per-call parse plus the overhead of a standing
-// Stream.Subscribe query vs a bare Run session (→ -queryout), and
+// against sharded Stream.Run across a -workers sweep (default 1,2,4,8) on
+// the Fig9 drift stream (frames/sec series → -streamout), "query" measures
+// prepared-query throughput vs per-call parse plus the overhead of a
+// standing Stream.Subscribe query vs a bare Run session (→ -queryout),
 // "dispatch" measures the fleet dispatcher — per-stream vs cross-stream
 // batched throughput at 1/2/4/8 cameras and the recovery-stall p99 with
-// inline vs async drift training (→ -dispatchout).
+// inline vs async drift training (→ -dispatchout), and "backend" compares
+// the float32 compute backend against the float64 reference on matmul/conv
+// microkernels and end-to-end DetectBatch, gating a ≥1.5× float32 speedup
+// (→ -backendout).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -36,10 +42,17 @@ func main() {
 	streamOut := flag.String("streamout", "BENCH_stream.json", "output path of the 'stream' experiment's JSON series")
 	queryOut := flag.String("queryout", "BENCH_query.json", "output path of the 'query' experiment's JSON document")
 	dispatchOut := flag.String("dispatchout", "BENCH_dispatch.json", "output path of the 'dispatch' experiment's JSON document")
+	backendOut := flag.String("backendout", "BENCH_backend.json", "output path of the 'backend' experiment's JSON document")
+	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the 'stream' experiment's sharded sweep")
 	verbose := flag.Bool("v", false, "log model-training progress")
 	flag.Parse()
 
 	scale, err := exp.ParseScale(*scaleFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	workers, err := parseWorkers(*workersFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -68,7 +81,7 @@ func main() {
 		{"table7", func() { exp.RunTable7(ctx, os.Stdout) }},
 		{"ablation", func() { exp.RunAblationBands(ctx, os.Stdout) }},
 		{"stream", func() {
-			if err := runStreamBench(scale, *streamOut, os.Stdout); err != nil {
+			if err := runStreamBench(scale, workers, *streamOut, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -81,6 +94,12 @@ func main() {
 		}},
 		{"dispatch", func() {
 			if err := runDispatchBench(scale, *dispatchOut, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}},
+		{"backend", func() {
+			if err := runBackendBench(scale, *backendOut, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -106,4 +125,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q\n", *expFlag)
 		os.Exit(2)
 	}
+}
+
+// parseWorkers parses the -workers sweep list ("1,2,4,8") into worker
+// counts, rejecting empty lists and non-positive entries.
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("invalid -workers entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers list is empty")
+	}
+	return out, nil
 }

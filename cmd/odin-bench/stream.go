@@ -15,10 +15,11 @@ import (
 
 // The streaming-throughput benchmark measures the public Server/Stream API
 // on the Fig9 drifting sequence: wall-clock frames/sec of sequential
-// Stream.Process versus sharded Stream.Run at 1, 4 and 8 workers, with the
-// sharded results checked frame-by-frame against the sequential ones
-// (detections, cluster assignments, drift events and stats must all
-// match). Results are emitted as BENCH_stream.json for CI tracking.
+// Stream.Process versus sharded Stream.Run across the -workers sweep
+// (default 1, 2, 4 and 8 workers), with the sharded results checked
+// frame-by-frame against the sequential ones (detections, cluster
+// assignments, drift events and stats must all match). Results are emitted
+// as BENCH_stream.json for CI tracking.
 
 // streamBenchResult is the JSON document written to -streamout.
 type streamBenchResult struct {
@@ -97,7 +98,7 @@ func fig9PublicStream(srv *odin.Server, phaseLen int) []*odin.Frame {
 // run that diverges from the sequential results (compared frame by frame
 // via Result.Fingerprint) is an error — this bench doubles as the
 // determinism regression gate in CI.
-func runStreamBench(scale exp.Scale, outPath string, w io.Writer) error {
+func runStreamBench(scale exp.Scale, workerSweep []int, outPath string, w io.Writer) error {
 	p := streamParams(scale)
 	doc := streamBenchResult{Scale: scale.String(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 
@@ -129,7 +130,7 @@ func runStreamBench(scale exp.Scale, outPath string, w io.Writer) error {
 	fmt.Fprintf(w, "  sequential Process: %8.1f frames/s  (%d drift events)\n",
 		doc.SequentialFPS, doc.DriftEvents)
 
-	for _, workers := range []int{1, 4, 8} {
+	for _, workers := range workerSweep {
 		srv, err := newStreamServer(p)
 		if err != nil {
 			return err

@@ -6,6 +6,7 @@ import (
 	"odin/internal/cluster"
 	"odin/internal/detect"
 	"odin/internal/synth"
+	"odin/internal/tensor"
 )
 
 // Model is one deployed detection model managed by the MODELMANAGER.
@@ -40,6 +41,10 @@ type SpecializerConfig struct {
 	LabelDelay int
 	// DistillMinScore filters teacher detections used as student labels.
 	DistillMinScore float64
+
+	// DType is the compute backend the recovery models train and serve on
+	// (zero value float64; tensor.F32 selects the float32 backend).
+	DType tensor.DType
 }
 
 // DefaultSpecializerConfig returns the configuration used in experiments.
@@ -292,6 +297,7 @@ func (mm *ModelManager) BuildModel(job TrainJob) *Model {
 	case detect.KindLite:
 		cfg := detect.LiteConfig(mm.Scene.H, mm.Scene.W)
 		cfg.Seed = job.Seed
+		cfg.DType = mm.Cfg.DType
 		lite := detect.NewGridDetector(cfg)
 		samples := detect.DistillSamples(mm.Baseline.Det, job.Frames, mm.Cfg.DistillMinScore)
 		lite.Fit(samples, mm.Cfg.LiteEpochs, mm.Cfg.Batch)
@@ -302,6 +308,7 @@ func (mm *ModelManager) BuildModel(job TrainJob) *Model {
 	case detect.KindSpecialized:
 		cfg := detect.SpecializedConfig(mm.Scene.H, mm.Scene.W)
 		cfg.Seed = job.Seed
+		cfg.DType = mm.Cfg.DType
 		spec := detect.NewGridDetector(cfg)
 		spec.Fit(detect.SamplesFromFrames(job.Frames), mm.Cfg.SpecEpochs, mm.Cfg.Batch)
 		return &Model{

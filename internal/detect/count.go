@@ -24,6 +24,7 @@ type countScratch struct {
 	suppressed []bool
 	logits     []float64
 	probs      []float64
+	row64      []float64 // widening buffer for the float32 backend
 }
 
 var countPool = sync.Pool{New: func() any { return new(countScratch) }}
@@ -38,15 +39,16 @@ func (g *GridDetector) CountBatch(imgs []*synth.Image, class int, minScore float
 	if len(imgs) == 0 {
 		return nil
 	}
-	batch := nn.GetMatRaw(len(imgs), imgs[0].Dim())
-	for i, im := range imgs {
-		copy(batch.Row(i), im.Flat())
-	}
+	batch := loadRows(g.Cfg.DType, len(imgs), imgs[0].Dim(), func(i int) []float64 { return imgs[i].Flat() })
 	out := g.Net.Predict(batch)
 	counts := make([]int, len(imgs))
 	sc := countPool.Get().(*countScratch)
 	for i := range imgs {
-		counts[i] = g.countRow(out.Row(i), class, minScore, sc)
+		row := out.Row64(i, sc.row64)
+		if out.V32 != nil {
+			sc.row64 = row // keep the grown widening buffer
+		}
+		counts[i] = g.countRow(row, class, minScore, sc)
 	}
 	countPool.Put(sc)
 	nn.Recycle(batch, out)

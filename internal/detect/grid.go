@@ -79,6 +79,12 @@ type GridConfig struct {
 
 	LR   float64
 	Seed uint64
+
+	// DType selects the compute backend the detector runs on. The zero
+	// value is float64 (the reference backend); tensor.F32 stores frame
+	// batches and activations in float32 and runs the vectorized kernels
+	// (master weights stay float64, see nn.Param).
+	DType tensor.DType
 }
 
 // YOLOConfig returns the heavyweight baseline configuration.
@@ -183,9 +189,36 @@ func (g *GridDetector) cellIndex(ch, gy, gx int) int {
 // and Detect runs concurrently across stream shards.
 var vecWrap = sync.Pool{New: func() any { return new(tensor.Mat) }}
 
+// row64Pool recycles the widening buffers the float32 decode paths use, so
+// counting and detection stay allocation-light under the float32 backend
+// too. (The float64 paths never touch it.)
+var row64Pool = sync.Pool{New: func() any { return new([]float64) }}
+
+// loadRows stacks n flattened pixel rows into a workspace batch of dtype
+// dt; row(i) supplies the i-th row. SetRow degrades to a plain copy on the
+// float64 path and narrows element-wise on float32.
+func loadRows(dt tensor.DType, n, dim int, row func(i int) []float64) *tensor.Mat {
+	m := nn.GetMatRawOf(dt, n, dim)
+	for i := 0; i < n; i++ {
+		m.SetRow(i, row(i))
+	}
+	return m
+}
+
 // Detect runs the network on one frame and decodes detections. It mutates
 // no detector state, so concurrent calls on a shared detector are safe.
 func (g *GridDetector) Detect(img *synth.Image) []Detection {
+	if g.Cfg.DType == tensor.F32 {
+		in := nn.GetMatRawOf(tensor.F32, 1, img.Dim())
+		in.SetRow(0, img.Flat())
+		out := g.Net.Predict(in)
+		buf := row64Pool.Get().(*[]float64)
+		*buf = out.Row64(0, *buf)
+		dets := g.decode(*buf)
+		row64Pool.Put(buf)
+		nn.Recycle(in, out)
+		return dets
+	}
 	in := vecWrap.Get().(*tensor.Mat)
 	in.R, in.C, in.V = 1, img.Dim(), img.Flat()
 	out := g.Net.Predict(in)
@@ -202,14 +235,20 @@ func (g *GridDetector) DetectBatch(imgs []*synth.Image) [][]Detection {
 	if len(imgs) == 0 {
 		return nil
 	}
-	batch := nn.GetMatRaw(len(imgs), imgs[0].Dim())
-	for i, im := range imgs {
-		copy(batch.Row(i), im.Flat())
-	}
+	batch := loadRows(g.Cfg.DType, len(imgs), imgs[0].Dim(), func(i int) []float64 { return imgs[i].Flat() })
 	out := g.Net.Predict(batch)
 	res := make([][]Detection, len(imgs))
-	for i := range imgs {
-		res[i] = g.decode(out.Row(i))
+	if out.V32 == nil {
+		for i := range imgs {
+			res[i] = g.decode(out.Row(i))
+		}
+	} else {
+		buf := row64Pool.Get().(*[]float64)
+		for i := range imgs {
+			*buf = out.Row64(i, *buf)
+			res[i] = g.decode(*buf)
+		}
+		row64Pool.Put(buf)
 	}
 	nn.Recycle(batch, out)
 	return res

@@ -60,17 +60,20 @@ func (g *GridDetector) TrainEpoch(samples []Sample, batch int) float64 {
 			end = len(perm)
 		}
 		idx := perm[start:end]
-		x := nn.GetMatRaw(len(idx), samples[0].Image.Dim())
-		for i, id := range idx {
-			copy(x.Row(i), samples[id].Image.Flat())
-		}
+		x := loadRows(g.Cfg.DType, len(idx), samples[0].Image.Dim(),
+			func(i int) []float64 { return samples[idx[i]].Image.Flat() })
 		out := g.Net.Forward(x, true)
-		grad := nn.GetMatRaw(out.R, out.C)
+		grad := nn.GetMatRawOf(out.DType(), out.R, out.C)
+		var row64 []float64
 		for i, id := range idx {
 			target, objMask := g.buildTargets(samples[id].Boxes)
-			loss, gr := g.lossGrad(out.Row(i), target, objMask)
+			row := out.Row64(i, row64)
+			if out.V32 != nil {
+				row64 = row // reuse the widening buffer across the batch
+			}
+			loss, gr := g.lossGrad(row, target, objMask)
 			total += loss
-			copy(grad.Row(i), gr)
+			grad.SetRow(i, gr)
 			count++
 		}
 		// Mean gradient over the batch.

@@ -49,7 +49,7 @@ func (a *Autoencoder) TrainEpoch(data [][]float64, batch int) float64 {
 	var total float64
 	batches := miniBatches(len(data), batch, a.rng)
 	for _, idx := range batches {
-		x := gather(data, idx)
+		x := gather(a.Cfg.DType, data, idx)
 		z := a.Enc.Forward(x, true)
 		xr := a.Dec.Forward(z, true)
 		loss, grad := nn.BCE(xr, x)
@@ -68,10 +68,8 @@ func (a *Autoencoder) TrainEpoch(data [][]float64, batch int) float64 {
 
 // Project encodes one image into the latent space.
 func (a *Autoencoder) Project(x []float64) []float64 {
-	out := a.Enc.Predict(tensor.FromVec(x))
-	z := make([]float64, out.C)
-	copy(z, out.Row(0))
-	return z
+	out := a.Enc.Predict(fromVec(a.Cfg.DType, x))
+	return rowCopy(out, 0)
 }
 
 // LatentDim returns the latent dimensionality.
@@ -79,16 +77,14 @@ func (a *Autoencoder) LatentDim() int { return a.Cfg.Latent }
 
 // ProjectBatch encodes many images in one forward pass.
 func (a *Autoencoder) ProjectBatch(rows [][]float64) [][]float64 {
-	return projectBatch(a.Enc, rows)
+	return projectBatch(a.Enc, a.Cfg.DType, rows)
 }
 
 // Reconstruct encodes then decodes one image.
 func (a *Autoencoder) Reconstruct(x []float64) []float64 {
-	z := a.Enc.Predict(tensor.FromVec(x))
+	z := a.Enc.Predict(fromVec(a.Cfg.DType, x))
 	out := a.Dec.Predict(z)
-	r := make([]float64, out.C)
-	copy(r, out.Row(0))
-	return r
+	return rowCopy(out, 0)
 }
 
 // ReconError returns the mean squared reconstruction error of one image,
@@ -105,10 +101,8 @@ func (a *Autoencoder) ReconError(x []float64) float64 {
 
 // Decode maps a latent point back to image space.
 func (a *Autoencoder) Decode(z []float64) []float64 {
-	out := a.Dec.Predict(tensor.FromVec(z))
-	r := make([]float64, out.C)
-	copy(r, out.Row(0))
-	return r
+	out := a.Dec.Predict(fromVec(a.Cfg.DType, z))
+	return rowCopy(out, 0)
 }
 
 var _ Projector = (*Autoencoder)(nil)

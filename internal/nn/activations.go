@@ -6,11 +6,17 @@ import (
 	"odin/internal/tensor"
 )
 
+// float constrains the element-wise helpers to the two storage dtypes the
+// tensor backends expose. Activation math runs natively in the activation
+// dtype (transcendentals round-trip through float64, which is exact for
+// float32 inputs), so a layer's output dtype always follows its input.
+type float interface{ ~float32 | ~float64 }
+
 // Element-wise transforms shared by the layer Forwards (dst and src
 // distinct) and the fused Dense+activation inference path (dst == src);
 // see Network.Forward.
 
-func reluInto(dst, src []float64) {
+func reluInto[T float](dst, src []T) {
 	for i, x := range src {
 		if x < 0 {
 			dst[i] = 0
@@ -20,7 +26,7 @@ func reluInto(dst, src []float64) {
 	}
 }
 
-func leakyReLUInto(dst, src []float64, alpha float64) {
+func leakyReLUInto[T float](dst, src []T, alpha T) {
 	for i, x := range src {
 		if x < 0 {
 			dst[i] = x * alpha
@@ -30,15 +36,15 @@ func leakyReLUInto(dst, src []float64, alpha float64) {
 	}
 }
 
-func sigmoidInto(dst, src []float64) {
+func sigmoidInto[T float](dst, src []T) {
 	for i, x := range src {
-		dst[i] = 1 / (1 + math.Exp(-x))
+		dst[i] = T(1 / (1 + math.Exp(-float64(x))))
 	}
 }
 
-func tanhInto(dst, src []float64) {
+func tanhInto[T float](dst, src []T) {
 	for i, x := range src {
-		dst[i] = math.Tanh(x)
+		dst[i] = T(math.Tanh(float64(x)))
 	}
 }
 
@@ -57,20 +63,32 @@ func (r *ReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if train {
 		r.lastIn = x
 	}
-	out := ws.GetRaw(x.R, x.C)
-	reluInto(out.V, x.V)
+	out := ws.GetRawOf(x.DType(), x.R, x.C)
+	if x.V32 != nil {
+		reluInto(out.V32, x.V32)
+	} else {
+		reluInto(out.V, x.V)
+	}
 	return out
+}
+
+func reluBack[T float](dst, in, g []T) {
+	for i, v := range in {
+		if v < 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = g[i]
+		}
+	}
 }
 
 // Backward zeroes the gradient where the input was negative.
 func (r *ReLU) Backward(grad *tensor.Mat) *tensor.Mat {
-	out := ws.GetRaw(grad.R, grad.C)
-	for i, v := range r.lastIn.V {
-		if v < 0 {
-			out.V[i] = 0
-		} else {
-			out.V[i] = grad.V[i]
-		}
+	out := ws.GetRawOf(grad.DType(), grad.R, grad.C)
+	if grad.V32 != nil {
+		reluBack(out.V32, r.lastIn.V32, grad.V32)
+	} else {
+		reluBack(out.V, r.lastIn.V, grad.V)
 	}
 	return out
 }
@@ -93,20 +111,32 @@ func (l *LeakyReLU) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if train {
 		l.lastIn = x
 	}
-	out := ws.GetRaw(x.R, x.C)
-	leakyReLUInto(out.V, x.V, l.Alpha)
+	out := ws.GetRawOf(x.DType(), x.R, x.C)
+	if x.V32 != nil {
+		leakyReLUInto(out.V32, x.V32, float32(l.Alpha))
+	} else {
+		leakyReLUInto(out.V, x.V, l.Alpha)
+	}
 	return out
+}
+
+func leakyBack[T float](dst, in, g []T, alpha T) {
+	for i, v := range in {
+		if v < 0 {
+			dst[i] = g[i] * alpha
+		} else {
+			dst[i] = g[i]
+		}
+	}
 }
 
 // Backward scales the gradient by alpha where the input was negative.
 func (l *LeakyReLU) Backward(grad *tensor.Mat) *tensor.Mat {
-	out := ws.GetRaw(grad.R, grad.C)
-	for i, v := range l.lastIn.V {
-		if v < 0 {
-			out.V[i] = grad.V[i] * l.Alpha
-		} else {
-			out.V[i] = grad.V[i]
-		}
+	out := ws.GetRawOf(grad.DType(), grad.R, grad.C)
+	if grad.V32 != nil {
+		leakyBack(out.V32, l.lastIn.V32, grad.V32, float32(l.Alpha))
+	} else {
+		leakyBack(out.V, l.lastIn.V, grad.V, l.Alpha)
 	}
 	return out
 }
@@ -124,19 +154,31 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward applies the logistic function element-wise.
 func (s *Sigmoid) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	out := ws.GetRaw(x.R, x.C)
-	sigmoidInto(out.V, x.V)
+	out := ws.GetRawOf(x.DType(), x.R, x.C)
+	if x.V32 != nil {
+		sigmoidInto(out.V32, x.V32)
+	} else {
+		sigmoidInto(out.V, x.V)
+	}
 	if train {
 		s.lastOut = out
 	}
 	return out
 }
 
+func sigmoidBack[T float](dst, y, g []T) {
+	for i, v := range y {
+		dst[i] = g[i] * v * (1 - v)
+	}
+}
+
 // Backward multiplies the gradient by σ(x)(1−σ(x)).
 func (s *Sigmoid) Backward(grad *tensor.Mat) *tensor.Mat {
-	out := ws.GetRaw(grad.R, grad.C)
-	for i, y := range s.lastOut.V {
-		out.V[i] = grad.V[i] * y * (1 - y)
+	out := ws.GetRawOf(grad.DType(), grad.R, grad.C)
+	if grad.V32 != nil {
+		sigmoidBack(out.V32, s.lastOut.V32, grad.V32)
+	} else {
+		sigmoidBack(out.V, s.lastOut.V, grad.V)
 	}
 	return out
 }
@@ -154,19 +196,31 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh element-wise.
 func (t *Tanh) Forward(x *tensor.Mat, train bool) *tensor.Mat {
-	out := ws.GetRaw(x.R, x.C)
-	tanhInto(out.V, x.V)
+	out := ws.GetRawOf(x.DType(), x.R, x.C)
+	if x.V32 != nil {
+		tanhInto(out.V32, x.V32)
+	} else {
+		tanhInto(out.V, x.V)
+	}
 	if train {
 		t.lastOut = out
 	}
 	return out
 }
 
+func tanhBack[T float](dst, y, g []T) {
+	for i, v := range y {
+		dst[i] = g[i] * (1 - v*v)
+	}
+}
+
 // Backward multiplies the gradient by 1−tanh²(x).
 func (t *Tanh) Backward(grad *tensor.Mat) *tensor.Mat {
-	out := ws.GetRaw(grad.R, grad.C)
-	for i, y := range t.lastOut.V {
-		out.V[i] = grad.V[i] * (1 - y*y)
+	out := ws.GetRawOf(grad.DType(), grad.R, grad.C)
+	if grad.V32 != nil {
+		tanhBack(out.V32, t.lastOut.V32, grad.V32)
+	} else {
+		tanhBack(out.V, t.lastOut.V, grad.V)
 	}
 	return out
 }
@@ -188,8 +242,21 @@ func NewDropout(p float64, rng *tensor.RNG) *Dropout {
 	return &Dropout{P: p, rng: rng}
 }
 
+func dropoutApply[T float](dst, src []T, mask []float64, rng *tensor.RNG, keep, inv float64) {
+	for i, v := range src {
+		if rng.Float64() < keep {
+			mask[i] = inv
+			dst[i] = v * T(inv)
+		} else {
+			mask[i] = 0
+			dst[i] = 0
+		}
+	}
+}
+
 // Forward applies the dropout mask when train is true. Inference is the
-// identity and touches no layer state (re-entrant).
+// identity and touches no layer state (re-entrant). The mask itself stays
+// float64 on both backends so the RNG stream consumption is identical.
 func (d *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if !train {
 		return x
@@ -198,20 +265,16 @@ func (d *Dropout) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 		d.mask = nil
 		return x
 	}
-	out := ws.GetRaw(x.R, x.C)
-	if len(d.mask) != len(x.V) {
-		d.mask = make([]float64, len(x.V))
+	out := ws.GetRawOf(x.DType(), x.R, x.C)
+	if len(d.mask) != x.Len() {
+		d.mask = make([]float64, x.Len())
 	}
 	keep := 1 - d.P
 	inv := 1 / keep
-	for i, v := range x.V {
-		if d.rng.Float64() < keep {
-			d.mask[i] = inv
-			out.V[i] = v * inv
-		} else {
-			d.mask[i] = 0
-			out.V[i] = 0
-		}
+	if x.V32 != nil {
+		dropoutApply(out.V32, x.V32, d.mask, d.rng, keep, inv)
+	} else {
+		dropoutApply(out.V, x.V, d.mask, d.rng, keep, inv)
 	}
 	return out
 }
@@ -221,9 +284,15 @@ func (d *Dropout) Backward(grad *tensor.Mat) *tensor.Mat {
 	if d.mask == nil {
 		return grad
 	}
-	out := ws.GetRaw(grad.R, grad.C)
-	for i, m := range d.mask {
-		out.V[i] = grad.V[i] * m
+	out := ws.GetRawOf(grad.DType(), grad.R, grad.C)
+	if grad.V32 != nil {
+		for i, m := range d.mask {
+			out.V32[i] = grad.V32[i] * float32(m)
+		}
+	} else {
+		for i, m := range d.mask {
+			out.V[i] = grad.V[i] * m
+		}
 	}
 	return out
 }

@@ -11,7 +11,9 @@ import (
 // with batch-level im2col: the whole batch is unrolled into one patch
 // matrix with a column per output pixel, so forward and backward are each
 // a single large matrix multiply instead of one small multiply per sample.
-// Output rows are flattened OutC×OutH×OutW.
+// Output rows are flattened OutC×OutH×OutW. The compute dtype follows the
+// input batch: float32 batches unroll into float32 patch matrices and
+// multiply against the float32 weight shadows.
 type Conv2D struct {
 	InC, InH, InW  int
 	OutC           int
@@ -23,7 +25,7 @@ type Conv2D struct {
 
 	// cols is the batched im2col workspace, (K*K*InC) × (R*OutH*OutW),
 	// retained across steps (it is also the backward cache) and reallocated
-	// only when the batch size changes.
+	// only when the batch size or dtype changes.
 	cols  *tensor.Mat
 	lastN int
 }
@@ -60,15 +62,17 @@ func (c *Conv2D) InSize() int { return c.InC * c.InH * c.InW }
 func (c *Conv2D) patchRows() int { return c.K * c.K * c.InC }
 
 // im2colInto unrolls one flattened sample into the column block
-// [off, off+OutH*OutW) of the batched patch matrix. Padded positions are
-// written as zeros because the workspace is reused across steps.
-func (c *Conv2D) im2colInto(row []float64, cols *tensor.Mat, off int) {
+// [off, off+OutH*OutW) of the batched patch matrix (colsV with row stride
+// colsC). Padded positions are written as zeros because the workspace is
+// reused across steps.
+func im2colInto[T float](c *Conv2D, row []T, colsV []T, colsC, off int) {
 	spatial := c.OutH * c.OutW
 	for ch := 0; ch < c.InC; ch++ {
 		chOff := ch * c.InH * c.InW
 		for ky := 0; ky < c.K; ky++ {
 			for kx := 0; kx < c.K; kx++ {
-				crow := cols.Row((ch*c.K+ky)*c.K + kx)[off : off+spatial]
+				base := ((ch*c.K+ky)*c.K + kx) * colsC
+				crow := colsV[base+off : base+off+spatial]
 				idx := 0
 				for oy := 0; oy < c.OutH; oy++ {
 					iy := oy*c.Stride + ky - c.Pad
@@ -79,11 +83,11 @@ func (c *Conv2D) im2colInto(row []float64, cols *tensor.Mat, off int) {
 						}
 						continue
 					}
-					base := chOff + iy*c.InW
+					rbase := chOff + iy*c.InW
 					for ox := 0; ox < c.OutW; ox++ {
 						ix := ox*c.Stride + kx - c.Pad
 						if ix >= 0 && ix < c.InW {
-							crow[idx] = row[base+ix]
+							crow[idx] = row[rbase+ix]
 						} else {
 							crow[idx] = 0
 						}
@@ -97,13 +101,14 @@ func (c *Conv2D) im2colInto(row []float64, cols *tensor.Mat, off int) {
 
 // col2imInto scatters the column block [off, off+OutH*OutW) of a patch
 // gradient back into one flattened sample gradient.
-func (c *Conv2D) col2imInto(cols *tensor.Mat, off int, dst []float64) {
+func col2imInto[T float](c *Conv2D, colsV []T, colsC, off int, dst []T) {
 	spatial := c.OutH * c.OutW
 	for ch := 0; ch < c.InC; ch++ {
 		chOff := ch * c.InH * c.InW
 		for ky := 0; ky < c.K; ky++ {
 			for kx := 0; kx < c.K; kx++ {
-				crow := cols.Row((ch*c.K+ky)*c.K + kx)[off : off+spatial]
+				base := ((ch*c.K+ky)*c.K + kx) * colsC
+				crow := colsV[base+off : base+off+spatial]
 				idx := 0
 				for oy := 0; oy < c.OutH; oy++ {
 					iy := oy*c.Stride + ky - c.Pad
@@ -111,16 +116,46 @@ func (c *Conv2D) col2imInto(cols *tensor.Mat, off int, dst []float64) {
 						idx += c.OutW
 						continue
 					}
-					base := chOff + iy*c.InW
+					rbase := chOff + iy*c.InW
 					for ox := 0; ox < c.OutW; ox++ {
 						ix := ox*c.Stride + kx - c.Pad
 						if ix >= 0 && ix < c.InW {
-							dst[base+ix] += crow[idx]
+							dst[rbase+ix] += crow[idx]
 						}
 						idx++
 					}
 				}
 			}
+		}
+	}
+}
+
+// convRegroup rewrites the channel-major matmul output yV (row stride yC)
+// into per-sample rows of outV (row stride outC·spatial), adding the channel
+// bias in the same pass. Samples [n0,n1).
+func convRegroup[T float](outV, yV, bias []T, nOutC, spatial, yC int, n0, n1 int) {
+	outW := nOutC * spatial
+	for n := n0; n < n1; n++ {
+		orow := outV[n*outW : (n+1)*outW]
+		for oc := 0; oc < nOutC; oc++ {
+			src := yV[oc*yC+n*spatial : oc*yC+(n+1)*spatial]
+			dst := orow[oc*spatial : (oc+1)*spatial]
+			b := bias[oc]
+			for i, v := range src {
+				dst[i] = v + b
+			}
+		}
+	}
+}
+
+// convRegroupBack transposes per-sample gradient rows gradV back into the
+// channel-major layout gV (row stride gC) used by the gradient matmuls.
+func convRegroupBack[T float](gV, gradV []T, nOutC, spatial, gC int, n0, n1 int) {
+	gradW := nOutC * spatial
+	for n := n0; n < n1; n++ {
+		grow := gradV[n*gradW : (n+1)*gradW]
+		for oc := 0; oc < nOutC; oc++ {
+			copy(gV[oc*gC+n*spatial:oc*gC+(n+1)*spatial], grow[oc*spatial:(oc+1)*spatial])
 		}
 	}
 }
@@ -133,49 +168,58 @@ func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != c.InSize() {
 		panic(fmt.Sprintf("nn: conv2d input width %d, want %d", x.C, c.InSize()))
 	}
+	dt := x.DType()
 	r := x.R
 	spatial := c.OutH * c.OutW
 	rows := c.patchRows()
 	var cols *tensor.Mat
 	if train {
 		c.lastN = r
-		if c.cols == nil || c.cols.R != rows || c.cols.C != r*spatial {
-			c.cols = tensor.New(rows, r*spatial)
+		if c.cols == nil || c.cols.R != rows || c.cols.C != r*spatial || c.cols.DType() != dt {
+			c.cols = tensor.NewOf(dt, rows, r*spatial)
 		}
 		cols = c.cols
 	} else {
 		// im2colInto writes every element (pads as zeros), so raw reuse is safe.
-		cols = ws.GetRaw(rows, r*spatial)
+		cols = ws.GetRawOf(dt, rows, r*spatial)
 	}
-	tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
-		for n := n0; n < n1; n++ {
-			c.im2colInto(x.Row(n), cols, n*spatial)
-		}
-	})
+	if dt == tensor.F32 {
+		tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
+			for n := n0; n < n1; n++ {
+				im2colInto(c, x.Row32(n), cols.V32, cols.C, n*spatial)
+			}
+		})
+	} else {
+		tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
+			for n := n0; n < n1; n++ {
+				im2colInto(c, x.Row(n), cols.V, cols.C, n*spatial)
+			}
+		})
+	}
+
+	wt, bias := c.Weight.W, c.Bias.W
+	if dt == tensor.F32 {
+		wt, bias = c.Weight.W32(), c.Bias.W32()
+	}
 
 	// y holds the whole batch channel-major: y[oc][n*spatial+s].
-	y := ws.GetRaw(c.OutC, r*spatial)
-	tensor.MatMulInto(y, c.Weight.W, cols)
+	y := ws.GetRawOf(dt, c.OutC, r*spatial)
+	tensor.MatMulInto(y, wt, cols)
 	if !train {
 		ws.Put(cols)
 	}
 
 	// Regroup into per-sample rows, adding the channel bias in the same pass.
-	out := ws.GetRaw(r, c.OutSize())
-	bias := c.Bias.W.V
-	tensor.Parallel(r, r*c.OutC*spatial, func(n0, n1 int) {
-		for n := n0; n < n1; n++ {
-			orow := out.Row(n)
-			for oc := 0; oc < c.OutC; oc++ {
-				src := y.Row(oc)[n*spatial : (n+1)*spatial]
-				dst := orow[oc*spatial : (oc+1)*spatial]
-				b := bias[oc]
-				for i, v := range src {
-					dst[i] = v + b
-				}
-			}
-		}
-	})
+	out := ws.GetRawOf(dt, r, c.OutSize())
+	if dt == tensor.F32 {
+		tensor.Parallel(r, r*c.OutC*spatial, func(n0, n1 int) {
+			convRegroup(out.V32, y.V32, bias.V32, c.OutC, spatial, y.C, n0, n1)
+		})
+	} else {
+		tensor.Parallel(r, r*c.OutC*spatial, func(n0, n1 int) {
+			convRegroup(out.V, y.V, bias.V, c.OutC, spatial, y.C, n0, n1)
+		})
+	}
 	ws.Put(y)
 	return out
 }
@@ -183,47 +227,70 @@ func (c *Conv2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 // Backward accumulates weight/bias gradients and returns the input
 // gradient. The whole batch is regrouped into one channel-major gradient
 // matrix so the weight gradient is a single G×patchesᵀ multiply and the
-// patch gradient a single Wᵀ×G multiply.
+// patch gradient a single Wᵀ×G multiply. Matmuls run in the gradient's
+// dtype; the results accumulate into the float64 master gradients.
 func (c *Conv2D) Backward(grad *tensor.Mat) *tensor.Mat {
+	dt := grad.DType()
 	r := grad.R
 	spatial := c.OutH * c.OutW
 	rows := c.patchRows()
 
 	// Regroup grad rows channel-major (the transpose of the forward scatter).
-	g := ws.GetRaw(c.OutC, r*spatial)
-	tensor.Parallel(r, r*c.OutC*spatial, func(n0, n1 int) {
-		for n := n0; n < n1; n++ {
-			grow := grad.Row(n)
-			for oc := 0; oc < c.OutC; oc++ {
-				copy(g.Row(oc)[n*spatial:(n+1)*spatial], grow[oc*spatial:(oc+1)*spatial])
-			}
-		}
-	})
+	g := ws.GetRawOf(dt, c.OutC, r*spatial)
+	if dt == tensor.F32 {
+		tensor.Parallel(r, r*c.OutC*spatial, func(n0, n1 int) {
+			convRegroupBack(g.V32, grad.V32, c.OutC, spatial, g.C, n0, n1)
+		})
+	} else {
+		tensor.Parallel(r, r*c.OutC*spatial, func(n0, n1 int) {
+			convRegroupBack(g.V, grad.V, c.OutC, spatial, g.C, n0, n1)
+		})
+	}
 
-	// Bias gradient: per-channel sum over every sample and position.
+	// Bias gradient: per-channel sum over every sample and position,
+	// accumulated in float64 on both backends.
 	for oc := 0; oc < c.OutC; oc++ {
 		var s float64
-		for _, v := range g.Row(oc) {
-			s += v
+		if dt == tensor.F32 {
+			for _, v := range g.Row32(oc) {
+				s += float64(v)
+			}
+		} else {
+			for _, v := range g.Row(oc) {
+				s += v
+			}
 		}
 		c.Bias.Grad.V[oc] += s
 	}
 
 	// Weight gradient: G × patchesᵀ across the whole batch at once.
-	dW := ws.GetRaw(c.OutC, rows)
+	dW := ws.GetRawOf(dt, c.OutC, rows)
 	tensor.MatMulBTInto(dW, g, c.cols)
 	c.Weight.Grad.Add(dW)
 	ws.Put(dW)
 
+	wt := c.Weight.W
+	if dt == tensor.F32 {
+		wt = c.Weight.W32()
+	}
+
 	// Input gradient: Wᵀ × G, scattered back per sample by col2im.
-	dCols := ws.GetRaw(rows, r*spatial)
-	tensor.MatMulATInto(dCols, c.Weight.W, g)
-	dx := ws.Get(r, c.InSize())
-	tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
-		for n := n0; n < n1; n++ {
-			c.col2imInto(dCols, n*spatial, dx.Row(n))
-		}
-	})
+	dCols := ws.GetRawOf(dt, rows, r*spatial)
+	tensor.MatMulATInto(dCols, wt, g)
+	dx := ws.GetOf(dt, r, c.InSize())
+	if dt == tensor.F32 {
+		tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
+			for n := n0; n < n1; n++ {
+				col2imInto(c, dCols.V32, dCols.C, n*spatial, dx.Row32(n))
+			}
+		})
+	} else {
+		tensor.Parallel(r, r*rows*spatial, func(n0, n1 int) {
+			for n := n0; n < n1; n++ {
+				col2imInto(c, dCols.V, dCols.C, n*spatial, dx.Row(n))
+			}
+		})
+	}
 	ws.Put(g, dCols)
 	return dx
 }
@@ -250,50 +317,70 @@ func NewUpsample2D(inC, inH, inW, scale int) *Upsample2D {
 // OutSize returns the flattened output width.
 func (u *Upsample2D) OutSize() int { return u.InC * u.OutH * u.OutW }
 
+func upsampleRow[T float](u *Upsample2D, src, dst []T) {
+	for ch := 0; ch < u.InC; ch++ {
+		sOff := ch * u.InH * u.InW
+		dOff := ch * u.OutH * u.OutW
+		for y := 0; y < u.OutH; y++ {
+			sy := y / u.Scale
+			for xx := 0; xx < u.OutW; xx++ {
+				dst[dOff+y*u.OutW+xx] = src[sOff+sy*u.InW+xx/u.Scale]
+			}
+		}
+	}
+}
+
 // Forward replicates each input pixel into a Scale×Scale block.
 func (u *Upsample2D) Forward(x *tensor.Mat, train bool) *tensor.Mat {
 	if x.C != u.InC*u.InH*u.InW {
 		panic("nn: upsample input width mismatch")
 	}
-	out := ws.GetRaw(x.R, u.OutSize())
-	tensor.Parallel(x.R, x.R*u.OutSize(), func(n0, n1 int) {
-		for n := n0; n < n1; n++ {
-			src := x.Row(n)
-			dst := out.Row(n)
-			for ch := 0; ch < u.InC; ch++ {
-				sOff := ch * u.InH * u.InW
-				dOff := ch * u.OutH * u.OutW
-				for y := 0; y < u.OutH; y++ {
-					sy := y / u.Scale
-					for xx := 0; xx < u.OutW; xx++ {
-						dst[dOff+y*u.OutW+xx] = src[sOff+sy*u.InW+xx/u.Scale]
-					}
-				}
+	out := ws.GetRawOf(x.DType(), x.R, u.OutSize())
+	if x.V32 != nil {
+		tensor.Parallel(x.R, x.R*u.OutSize(), func(n0, n1 int) {
+			for n := n0; n < n1; n++ {
+				upsampleRow(u, x.Row32(n), out.Row32(n))
+			}
+		})
+	} else {
+		tensor.Parallel(x.R, x.R*u.OutSize(), func(n0, n1 int) {
+			for n := n0; n < n1; n++ {
+				upsampleRow(u, x.Row(n), out.Row(n))
+			}
+		})
+	}
+	return out
+}
+
+func upsampleBackRow[T float](u *Upsample2D, src, dst []T) {
+	for ch := 0; ch < u.InC; ch++ {
+		sOff := ch * u.OutH * u.OutW
+		dOff := ch * u.InH * u.InW
+		for y := 0; y < u.OutH; y++ {
+			sy := y / u.Scale
+			for xx := 0; xx < u.OutW; xx++ {
+				dst[dOff+sy*u.InW+xx/u.Scale] += src[sOff+y*u.OutW+xx]
 			}
 		}
-	})
-	return out
+	}
 }
 
 // Backward sums gradients over each Scale×Scale block.
 func (u *Upsample2D) Backward(grad *tensor.Mat) *tensor.Mat {
-	dx := ws.Get(grad.R, u.InC*u.InH*u.InW)
-	tensor.Parallel(grad.R, grad.R*u.OutSize(), func(n0, n1 int) {
-		for n := n0; n < n1; n++ {
-			src := grad.Row(n)
-			dst := dx.Row(n)
-			for ch := 0; ch < u.InC; ch++ {
-				sOff := ch * u.OutH * u.OutW
-				dOff := ch * u.InH * u.InW
-				for y := 0; y < u.OutH; y++ {
-					sy := y / u.Scale
-					for xx := 0; xx < u.OutW; xx++ {
-						dst[dOff+sy*u.InW+xx/u.Scale] += src[sOff+y*u.OutW+xx]
-					}
-				}
+	dx := ws.GetOf(grad.DType(), grad.R, u.InC*u.InH*u.InW)
+	if grad.V32 != nil {
+		tensor.Parallel(grad.R, grad.R*u.OutSize(), func(n0, n1 int) {
+			for n := n0; n < n1; n++ {
+				upsampleBackRow(u, grad.Row32(n), dx.Row32(n))
 			}
-		}
-	})
+		})
+	} else {
+		tensor.Parallel(grad.R, grad.R*u.OutSize(), func(n0, n1 int) {
+			for n := n0; n < n1; n++ {
+				upsampleBackRow(u, grad.Row(n), dx.Row(n))
+			}
+		})
+	}
 	return dx
 }
 

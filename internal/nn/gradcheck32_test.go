@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"odin/internal/tensor"
+)
+
+// Float32-backend gradient checks. The master weights stay float64, so the
+// central-difference probes perturb them directly and call Invalidate to
+// force the float32 shadow to repack. Step sizes and tolerances are wider
+// than the float64 suite: each forward rounds activations to 24 bits, so
+// the difference quotient carries ~1e-7/h of rounding noise — h=1e-2 keeps
+// that near 1e-5 while the truncation error stays O(h²). The per-layer
+// tolerances below are the audit numbers quoted in DESIGN.md §8.
+func checkLayerGradient32(t *testing.T, layer Layer, in *tensor.Mat, tol float64) {
+	t.Helper()
+	if in.DType() != tensor.F32 {
+		t.Fatal("checkLayerGradient32 needs a float32 batch")
+	}
+	probe := layer.Forward(in, true)
+	target := tensor.NewOf(tensor.F32, probe.R, probe.C)
+	for i := range target.V32 {
+		target.V32[i] = 0.3 * float32(i%3)
+	}
+	lossOf := func(x *tensor.Mat) float64 {
+		out := layer.Forward(x, true)
+		l, _ := MSE(out, target)
+		return l
+	}
+
+	// Analytic input gradient.
+	out := layer.Forward(in, true)
+	_, g := MSE(out, target)
+	analytic := layer.Backward(g)
+
+	const h = 1e-2
+	for i := range in.V32 {
+		orig := in.V32[i]
+		xp := orig + float32(h)
+		xm := orig - float32(h)
+		in.V32[i] = xp
+		lp := lossOf(in)
+		in.V32[i] = xm
+		lm := lossOf(in)
+		in.V32[i] = orig
+		// The realised step is the float32-rounded one, not h itself.
+		numeric := (lp - lm) / (float64(xp) - float64(xm))
+		got := float64(analytic.V32[i])
+		if math.Abs(numeric-got) > tol*(1+math.Abs(numeric)) {
+			t.Fatalf("input grad mismatch at %d: analytic=%g numeric=%g", i, got, numeric)
+		}
+	}
+
+	// Analytic parameter gradients (float64 masters, float32 compute).
+	for _, p := range layer.Params() {
+		p.Grad.Zero()
+	}
+	out = layer.Forward(in, true)
+	_, g = MSE(out, target)
+	layer.Backward(g)
+	for pi, p := range layer.Params() {
+		for i := range p.W.V {
+			orig := p.W.V[i]
+			p.W.V[i] = orig + h
+			p.Invalidate()
+			lp := lossOf(in)
+			p.W.V[i] = orig - h
+			p.Invalidate()
+			lm := lossOf(in)
+			p.W.V[i] = orig
+			p.Invalidate()
+			numeric := (lp - lm) / (2 * h)
+			if math.Abs(numeric-p.Grad.V[i]) > tol*(1+math.Abs(numeric)) {
+				t.Fatalf("param %d grad mismatch at %d: analytic=%g numeric=%g", pi, i, p.Grad.V[i], numeric)
+			}
+		}
+	}
+}
+
+func randomBatch32(r, c int, seed uint64) *tensor.Mat {
+	rng := tensor.NewRNG(seed)
+	m := tensor.NewOf(tensor.F32, r, c)
+	rng.FillNormal(m, 1)
+	return m
+}
+
+func TestDenseGradientF32(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	checkLayerGradient32(t, NewDense(5, 4, rng), randomBatch32(3, 5, 2), 5e-3)
+}
+
+func TestReLUGradientF32(t *testing.T) {
+	// Shift inputs away from the kink at 0 by more than the probe step.
+	in := randomBatch32(2, 6, 3)
+	for i := range in.V32 {
+		if math.Abs(float64(in.V32[i])) < 0.1 {
+			in.V32[i] = 0.5
+		}
+	}
+	checkLayerGradient32(t, NewReLU(), in, 5e-3)
+}
+
+func TestLeakyReLUGradientF32(t *testing.T) {
+	in := randomBatch32(2, 6, 4)
+	for i := range in.V32 {
+		if math.Abs(float64(in.V32[i])) < 0.1 {
+			in.V32[i] = -0.5
+		}
+	}
+	checkLayerGradient32(t, NewLeakyReLU(0.2), in, 5e-3)
+}
+
+func TestSigmoidGradientF32(t *testing.T) {
+	checkLayerGradient32(t, NewSigmoid(), randomBatch32(2, 5, 5), 5e-3)
+}
+
+func TestTanhGradientF32(t *testing.T) {
+	checkLayerGradient32(t, NewTanh(), randomBatch32(2, 5, 6), 5e-3)
+}
+
+func TestConv2DGradientF32(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	layer := NewConv2D(2, 5, 5, 3, 3, 1, 1, rng)
+	checkLayerGradient32(t, layer, randomBatch32(2, 2*5*5, 8), 1e-2)
+}
+
+func TestUpsampleGradientF32(t *testing.T) {
+	layer := NewUpsample2D(2, 3, 3, 2)
+	checkLayerGradient32(t, layer, randomBatch32(2, 18, 11), 5e-3)
+}
+
+func TestBatchNormGradientF32(t *testing.T) {
+	layer := NewBatchNorm(4)
+	checkLayerGradient32(t, layer, randomBatch32(6, 4, 12), 2e-2)
+}
+
+func TestSequentialNetworkGradientF32(t *testing.T) {
+	rng := tensor.NewRNG(13)
+	net := NewNetwork("mlp32",
+		NewDense(6, 8, rng),
+		NewTanh(),
+		NewDense(8, 3, rng),
+		NewSigmoid(),
+	)
+	checkLayerGradient32(t, net, randomBatch32(4, 6, 14), 1e-2)
+}
+
+// TestForwardParityAcrossBackends bounds the float32/float64 divergence of
+// a full inference pass on the same weights — the cross-backend tolerance
+// half of the audit (within-backend determinism is exact and pinned by the
+// fingerprint tests).
+func TestForwardParityAcrossBackends(t *testing.T) {
+	rng := tensor.NewRNG(21)
+	net := NewNetwork("parity",
+		NewDense(12, 32, rng),
+		NewReLU(),
+		NewDense(32, 16, rng),
+		NewTanh(),
+		NewDense(16, 4, rng),
+		NewSigmoid(),
+	)
+	in64 := randomBatch(5, 12, 22)
+	in32 := tensor.NewOf(tensor.F32, 5, 12)
+	tensor.ConvertInto(in32, in64)
+
+	out64 := net.Predict(in64)
+	out32 := net.Predict(in32)
+	if out32.DType() != tensor.F32 {
+		t.Fatalf("float32 input produced %v output", out32.DType())
+	}
+	for i := 0; i < out64.R; i++ {
+		for j := 0; j < out64.C; j++ {
+			d := math.Abs(out64.At(i, j) - out32.At(i, j))
+			if d > 1e-5 {
+				t.Fatalf("(%d,%d): |f64−f32| = %g exceeds 1e-5", i, j, d)
+			}
+		}
+	}
+}
+
+// TestInvalidateRefreshesShadow pins the staleness contract: a float32
+// forward after an optimizer step must see the updated weights.
+func TestInvalidateRefreshesShadow(t *testing.T) {
+	rng := tensor.NewRNG(31)
+	d := NewDense(3, 2, rng)
+	in := randomBatch32(1, 3, 32)
+	before := d.Forward(in, false).Clone()
+
+	// Train one step on the float32 path.
+	out := d.Forward(in, true)
+	target := tensor.NewOf(tensor.F32, out.R, out.C)
+	_, g := MSE(out, target)
+	d.Backward(g)
+	NewSGD(0.5).Step(d.Params())
+
+	after := d.Forward(in, false)
+	same := true
+	for i := range after.V32 {
+		if after.V32[i] != before.V32[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("float32 forward unchanged after SGD step: stale weight shadow")
+	}
+}

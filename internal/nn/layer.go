@@ -12,21 +12,48 @@ package nn
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"odin/internal/tensor"
 )
 
 // Param is one trainable parameter tensor together with its gradient
 // accumulator. Optimizers update W in place using Grad.
+//
+// The master weights and gradients are always float64, whatever compute
+// backend the layer runs on: gradients from float32 activations accumulate
+// into float64, so tiny updates are never lost to 24-bit rounding. Layers
+// running on the float32 backend read weights through W32, a lazily packed
+// float32 shadow that anyone mutating W must drop via Invalidate.
 type Param struct {
 	Name string
 	W    *tensor.Mat
 	Grad *tensor.Mat
+
+	w32 atomic.Pointer[tensor.Mat]
 }
 
 func newParam(name string, r, c int) *Param {
 	return &Param{Name: name, W: tensor.New(r, c), Grad: tensor.New(r, c)}
 }
+
+// W32 returns the float32 shadow of W, packing it on first use after an
+// Invalidate. Concurrent inference goroutines may race to pack; both produce
+// identical bytes, so the last store winning is harmless.
+func (p *Param) W32() *tensor.Mat {
+	if m := p.w32.Load(); m != nil {
+		return m
+	}
+	m := tensor.NewOf(tensor.F32, p.W.R, p.W.C)
+	tensor.ConvertInto(m, p.W)
+	p.w32.Store(m)
+	return m
+}
+
+// Invalidate drops the float32 shadow. Every W mutation — optimizer steps,
+// weight loading, manual perturbation in tests — must call it, or float32
+// forwards keep reading stale weights.
+func (p *Param) Invalidate() { p.w32.Store(nil) }
 
 // Layer is a differentiable network stage. Forward consumes a batch and
 // produces a batch; Backward consumes the gradient of the loss with respect
@@ -65,18 +92,44 @@ func NewNetwork(name string, layers ...Layer) *Network {
 
 // inferenceEpilogue returns an in-place transform for activation layers
 // that can fuse onto a preceding Dense at inference time, where no backward
-// caches are needed; nil when the layer cannot fuse.
-func inferenceEpilogue(l Layer) func([]float64) {
+// caches are needed; nil when the layer cannot fuse. The transform operates
+// on whichever storage the matrix carries, so fusion works identically on
+// both backends.
+func inferenceEpilogue(l Layer) func(*tensor.Mat) {
 	switch a := l.(type) {
 	case *ReLU:
-		return func(v []float64) { reluInto(v, v) }
+		return func(m *tensor.Mat) {
+			if m.V32 != nil {
+				reluInto(m.V32, m.V32)
+			} else {
+				reluInto(m.V, m.V)
+			}
+		}
 	case *LeakyReLU:
 		alpha := a.Alpha
-		return func(v []float64) { leakyReLUInto(v, v, alpha) }
+		return func(m *tensor.Mat) {
+			if m.V32 != nil {
+				leakyReLUInto(m.V32, m.V32, float32(alpha))
+			} else {
+				leakyReLUInto(m.V, m.V, alpha)
+			}
+		}
 	case *Sigmoid:
-		return func(v []float64) { sigmoidInto(v, v) }
+		return func(m *tensor.Mat) {
+			if m.V32 != nil {
+				sigmoidInto(m.V32, m.V32)
+			} else {
+				sigmoidInto(m.V, m.V)
+			}
+		}
 	case *Tanh:
-		return func(v []float64) { tanhInto(v, v) }
+		return func(m *tensor.Mat) {
+			if m.V32 != nil {
+				tanhInto(m.V32, m.V32)
+			} else {
+				tanhInto(m.V, m.V)
+			}
+		}
 	}
 	return nil
 }
@@ -181,7 +234,7 @@ func (n *Network) ZeroGrad() {
 func (n *Network) NumParams() int {
 	total := 0
 	for _, p := range n.Params() {
-		total += len(p.W.V)
+		total += p.W.Len()
 	}
 	return total
 }

@@ -8,66 +8,118 @@ import (
 // Kernel benchmarks at the shapes the NN stack actually produces: square
 // GEMMs for dense stacks, wide-and-short GEMMs for the batched im2col
 // convolution path (weights OutC×(K²·InC) against a patch matrix with one
-// column per output pixel of the whole batch).
+// column per output pixel of the whole batch). Every benchmark runs once
+// per registered backend and reports GFLOP/s so the float32 and float64
+// kernels can be compared directly from one `go test -bench` run.
 func benchShapes() []struct{ m, k, n int } {
 	return []struct{ m, k, n int }{
 		{128, 128, 128},
 		{256, 256, 256},
+		{512, 512, 512},
+		{1024, 1024, 1024},
 		{16, 27, 16384}, // conv2d 3→16ch 32×32 batch-16 forward
 		{64, 3072, 256}, // dense CIFAR batch-64 forward
 	}
 }
 
-func randMat(r, c int, seed uint64) *Mat {
-	m := New(r, c)
+func randMat(r, c int, seed uint64) *Mat { return randMatOf(F64, r, c, seed) }
+
+func randMatOf(dt DType, r, c int, seed uint64) *Mat {
+	m := NewOf(dt, r, c)
 	NewRNG(seed).FillNormal(m, 1)
 	return m
 }
 
-func BenchmarkMatMul(b *testing.B) {
-	for _, s := range benchShapes() {
-		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
-			a := randMat(s.m, s.k, 1)
-			bb := randMat(s.k, s.n, 2)
-			dst := New(s.m, s.n)
-			b.SetBytes(int64(8 * s.m * s.k * s.n))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				MatMulInto(dst, a, bb)
-			}
-		})
+// reportGFLOPS attaches the achieved GFLOP/s (2mn·k flops per multiply) to
+// the benchmark line alongside the byte-throughput SetBytes gives us.
+func reportGFLOPS(b *testing.B, m, k, n int) {
+	flops := 2 * float64(m) * float64(k) * float64(n) * float64(b.N)
+	b.ReportMetric(flops/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+}
+
+func benchBackends(b *testing.B, run func(b *testing.B, bk Backend, m, k, n int)) {
+	for _, bk := range Backends() {
+		for _, s := range benchShapes() {
+			b.Run(fmt.Sprintf("%s/%dx%dx%d", bk.Name(), s.m, s.k, s.n), func(b *testing.B) {
+				run(b, bk, s.m, s.k, s.n)
+			})
+		}
 	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	benchBackends(b, func(b *testing.B, bk Backend, m, k, n int) {
+		a := randMatOf(bk.DType(), m, k, 1)
+		bb := randMatOf(bk.DType(), k, n, 2)
+		dst := NewOf(bk.DType(), m, n)
+		b.SetBytes(int64(bk.DType().Size() * m * k * n))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			MatMulInto(dst, a, bb)
+		}
+		reportGFLOPS(b, m, k, n)
+	})
 }
 
 func BenchmarkMatMulAT(b *testing.B) {
-	for _, s := range benchShapes() {
-		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
-			a := randMat(s.k, s.m, 1) // aᵀ is m×k
-			bb := randMat(s.k, s.n, 2)
-			dst := New(s.m, s.n)
-			b.SetBytes(int64(8 * s.m * s.k * s.n))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				MatMulATInto(dst, a, bb)
-			}
-		})
-	}
+	benchBackends(b, func(b *testing.B, bk Backend, m, k, n int) {
+		a := randMatOf(bk.DType(), k, m, 1) // aᵀ is m×k
+		bb := randMatOf(bk.DType(), k, n, 2)
+		dst := NewOf(bk.DType(), m, n)
+		b.SetBytes(int64(bk.DType().Size() * m * k * n))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			MatMulATInto(dst, a, bb)
+		}
+		reportGFLOPS(b, m, k, n)
+	})
 }
 
 func BenchmarkMatMulBT(b *testing.B) {
-	for _, s := range benchShapes() {
-		b.Run(fmt.Sprintf("%dx%dx%d", s.m, s.k, s.n), func(b *testing.B) {
-			a := randMat(s.m, s.k, 1)
-			bb := randMat(s.n, s.k, 2) // bᵀ is k×n
-			dst := New(s.m, s.n)
-			b.SetBytes(int64(8 * s.m * s.k * s.n))
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				MatMulBTInto(dst, a, bb)
+	benchBackends(b, func(b *testing.B, bk Backend, m, k, n int) {
+		a := randMatOf(bk.DType(), m, k, 1)
+		bb := randMatOf(bk.DType(), n, k, 2) // bᵀ is k×n
+		dst := NewOf(bk.DType(), m, n)
+		b.SetBytes(int64(bk.DType().Size() * m * k * n))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			MatMulBTInto(dst, a, bb)
+		}
+		reportGFLOPS(b, m, k, n)
+	})
+}
+
+// TestMatMulKernelAllocs pins the pool discipline for the float32 kernel
+// paths: with operands and destination pre-allocated, the kernels must run
+// alloc-free in steady state, exactly like the float64 reference. The loop
+// runs inline (parallelism 1) so the assertion isolates the kernels — the
+// parallel dispatch path's one job header per fan-out is accounted for
+// separately and predates the backend seam.
+func TestMatMulKernelAllocs(t *testing.T) {
+	SetParallelism(1)
+	defer SetParallelism(0)
+	for _, bk := range Backends() {
+		dt := bk.DType()
+		a := randMatOf(dt, 64, 48, 1)
+		bm := randMatOf(dt, 48, 32, 2)
+		bias := randMatOf(dt, 1, 32, 5)
+		at := randMatOf(dt, 48, 64, 3) // aᵀ operand for MatMulATInto
+		bt := randMatOf(dt, 32, 48, 4) // bᵀ operand for MatMulBTInto
+		dst := NewOf(dt, 64, 32)
+		kernels := map[string]func(){
+			"matmul":     func() { MatMulInto(dst, a, bm) },
+			"matmulBias": func() { MatMulBiasInto(dst, a, bm, bias) },
+			"matmulAT":   func() { MatMulATInto(dst, at, bm) },
+			"matmulBT":   func() { MatMulBTInto(dst, a, bt) },
+		}
+		for name, fn := range kernels {
+			fn() // warm up worker pool
+			if allocs := testing.AllocsPerRun(10, fn); allocs > 0 {
+				t.Errorf("%s/%s: %v allocs/op in steady state, want 0", bk.Name(), name, allocs)
 			}
-		})
+		}
 	}
 }

@@ -94,6 +94,19 @@ func ensureWorkers(want int) {
 // costs more than it saves and the loop runs inline.
 const parallelMinWork = 1 << 17
 
+// runsInline reports whether Parallel would run a loop of this size on the
+// calling goroutine. Kernels consult it before constructing their range
+// closure: the inline path then calls a top-level function directly, so
+// sub-threshold kernel invocations (and every invocation on a single-core
+// runner) allocate nothing at all.
+func runsInline(n, work int) bool {
+	w := int(parTarget.Load())
+	if w > n {
+		w = n
+	}
+	return w <= 1 || work < parallelMinWork
+}
+
 // Parallel runs fn over chunked subranges of [0, n). When work — an
 // estimate of the total scalar operations — is large enough to amortise
 // hand-off, chunks are distributed across the persistent worker pool; the

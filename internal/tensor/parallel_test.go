@@ -188,7 +188,7 @@ func TestMatMulParallelMatchesSerial(t *testing.T) {
 func TestMatMulBiasInto(t *testing.T) {
 	a := FromSlice(2, 3, []float64{1, 2, 3, 4, 5, 6})
 	b := FromSlice(3, 2, []float64{7, 8, 9, 10, 11, 12})
-	bias := []float64{0.5, -1}
+	bias := FromVec([]float64{0.5, -1})
 	got := New(2, 2)
 	MatMulBiasInto(got, a, b, bias)
 	want := []float64{58.5, 63, 139.5, 153}

@@ -1,0 +1,56 @@
+//go:build amd64
+
+package tensor
+
+// The float32 backend's inner row updates dispatch to AVX2 when the CPU
+// supports it. The assembly mirrors the scalar accumulation order exactly
+// (see simd_amd64.s), so enabling or disabling vectorization never changes
+// a single output bit — it only changes how many elements retire per cycle.
+
+//go:noescape
+func axpy4x32(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32)
+
+//go:noescape
+func axpy1x32(dst, b []float32, a float32)
+
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbv0() (eax, edx uint32)
+
+// vecEnabled gates the AVX2 paths. It is a plain bool set once at init
+// (and flipped only by tests, before any kernels run concurrently).
+var vecEnabled = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidex(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// OS must manage YMM state (XCR0 bits 1 and 2).
+	xcr0, _ := xgetbv0()
+	if xcr0&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidex(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}
+
+// Vectorized reports whether the float32 kernels are using the AVX2 paths.
+func Vectorized() bool { return vecEnabled }
+
+// setVectorized is a test hook: the conformance suite runs the float32
+// kernels both vectorized and scalar and asserts bit-equal output.
+func setVectorized(on bool) bool {
+	if on && !detectAVX2() {
+		return false
+	}
+	vecEnabled = on
+	return true
+}

@@ -1,7 +1,9 @@
-// Package tensor provides the dense float64 matrix and vector primitives
-// that the neural-network substrate and the drift-detection algorithms are
-// built on. It is deliberately small: row-major matrices, a handful of
-// BLAS-like kernels, and deterministic random initialisation helpers.
+// Package tensor provides the dense matrix and vector primitives that the
+// neural-network substrate and the drift-detection algorithms are built on.
+// It is deliberately small: row-major matrices, a handful of BLAS-like
+// kernels behind a per-dtype Backend seam (float64 reference kernels plus
+// register-tiled float32 kernels), and deterministic random initialisation
+// helpers.
 package tensor
 
 import (
@@ -10,10 +12,12 @@ import (
 )
 
 // Mat is a dense, row-major matrix with R rows and C columns. A Mat with
-// R==1 doubles as a vector. The zero value is an empty matrix.
+// R==1 doubles as a vector. Exactly one of V (float64) or V32 (float32) is
+// non-nil; DType reports which. The zero value is an empty float64 matrix.
 type Mat struct {
 	R, C int
 	V    []float64
+	V32  []float32
 }
 
 // New returns an all-zero matrix with r rows and c columns.
@@ -35,26 +39,28 @@ func FromSlice(r, c int, v []float64) *Mat {
 // FromVec wraps v (not copied) as a 1-by-len(v) row vector.
 func FromVec(v []float64) *Mat { return &Mat{R: 1, C: len(v), V: v} }
 
-// At returns the element at row i, column j.
-func (m *Mat) At(i, j int) float64 { return m.V[i*m.C+j] }
+// At returns the element at row i, column j, widened to float64.
+func (m *Mat) At(i, j int) float64 { return m.at(i*m.C + j) }
 
-// Set assigns the element at row i, column j.
-func (m *Mat) Set(i, j int, v float64) { m.V[i*m.C+j] = v }
+// Set assigns the element at row i, column j, narrowing if m is float32.
+func (m *Mat) Set(i, j int, v float64) { m.set(i*m.C+j, v) }
 
-// Row returns row i as a slice aliasing the matrix storage.
+// Row returns row i of a float64 matrix as a slice aliasing the storage.
+// See Row32 / Row64 for float32 matrices.
 func (m *Mat) Row(i int) []float64 { return m.V[i*m.C : (i+1)*m.C] }
 
-// Clone returns a deep copy of m.
+// Clone returns a deep copy of m, preserving its dtype.
 func (m *Mat) Clone() *Mat {
-	out := New(m.R, m.C)
+	out := NewOf(m.DType(), m.R, m.C)
 	copy(out.V, m.V)
+	copy(out.V32, m.V32)
 	return out
 }
 
-// CopyFrom copies src's contents into m. Shapes must match.
+// CopyFrom copies src's contents into m, converting if the dtypes differ.
+// Shapes must match.
 func (m *Mat) CopyFrom(src *Mat) {
-	m.mustSameShape(src)
-	copy(m.V, src.V)
+	ConvertInto(m, src)
 }
 
 // Zero sets every element to 0.
@@ -62,12 +68,19 @@ func (m *Mat) Zero() {
 	for i := range m.V {
 		m.V[i] = 0
 	}
+	for i := range m.V32 {
+		m.V32[i] = 0
+	}
 }
 
 // Fill sets every element to v.
 func (m *Mat) Fill(v float64) {
 	for i := range m.V {
 		m.V[i] = v
+	}
+	v32 := float32(v)
+	for i := range m.V32 {
+		m.V32[i] = v32
 	}
 }
 
@@ -77,19 +90,40 @@ func (m *Mat) mustSameShape(o *Mat) {
 	}
 }
 
-// Add adds o element-wise into m (m += o).
+// Add adds o element-wise into m (m += o). Mixed dtypes are supported —
+// the mixed-precision training path accumulates float32 gradients into
+// float64 master parameters through exactly this entry point.
 func (m *Mat) Add(o *Mat) {
 	m.mustSameShape(o)
-	for i, v := range o.V {
-		m.V[i] += v
+	switch {
+	case m.V32 == nil && o.V32 == nil:
+		for i, v := range o.V {
+			m.V[i] += v
+		}
+	case m.V32 != nil && o.V32 != nil:
+		addSlices(m.V32, o.V32)
+	case m.V32 == nil:
+		addSlices(m.V, o.V32)
+	default:
+		addSlices(m.V32, o.V)
 	}
 }
 
-// Sub subtracts o element-wise from m (m -= o).
+// Sub subtracts o element-wise from m (m -= o). Mixed dtypes convert
+// element-wise like Add.
 func (m *Mat) Sub(o *Mat) {
 	m.mustSameShape(o)
-	for i, v := range o.V {
-		m.V[i] -= v
+	switch {
+	case m.V32 == nil && o.V32 == nil:
+		for i, v := range o.V {
+			m.V[i] -= v
+		}
+	case m.V32 != nil && o.V32 != nil:
+		subSlices(m.V32, o.V32)
+	case m.V32 == nil:
+		subSlices(m.V, o.V32)
+	default:
+		subSlices(m.V32, o.V)
 	}
 }
 
@@ -98,30 +132,55 @@ func (m *Mat) Scale(s float64) {
 	for i := range m.V {
 		m.V[i] *= s
 	}
+	if m.V32 != nil {
+		s32 := float32(s)
+		for i := range m.V32 {
+			m.V32[i] *= s32
+		}
+	}
 }
 
-// AddScaled performs m += s*o.
+// AddScaled performs m += s*o. Mixed dtypes convert element-wise like Add;
+// when m is float32 the scale itself rounds to float32 first.
 func (m *Mat) AddScaled(s float64, o *Mat) {
 	m.mustSameShape(o)
-	for i, v := range o.V {
-		m.V[i] += s * v
+	switch {
+	case m.V32 == nil && o.V32 == nil:
+		for i, v := range o.V {
+			m.V[i] += s * v
+		}
+	case m.V32 != nil && o.V32 != nil:
+		addScaledSlices(m.V32, float32(s), o.V32)
+	case m.V32 == nil:
+		addScaledSlices(m.V, s, o.V32)
+	default:
+		addScaledSlices(m.V32, float32(s), o.V)
 	}
 }
 
 // Hadamard multiplies m element-wise by o (m ⊙= o).
 func (m *Mat) Hadamard(o *Mat) {
 	m.mustSameShape(o)
-	for i, v := range o.V {
-		m.V[i] *= v
+	switch {
+	case m.V32 == nil && o.V32 == nil:
+		for i, v := range o.V {
+			m.V[i] *= v
+		}
+	case m.V32 != nil && o.V32 != nil:
+		mulSlices(m.V32, o.V32)
+	case m.V32 == nil:
+		mulSlices(m.V, o.V32)
+	default:
+		mulSlices(m.V32, o.V)
 	}
 }
 
-// MatMul returns a new matrix holding m×o.
+// MatMul returns a new matrix holding m×o, in the operands' dtype.
 func MatMul(a, b *Mat) *Mat {
 	if a.C != b.R {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d × %dx%d", a.R, a.C, b.R, b.C))
 	}
-	out := New(a.R, b.C)
+	out := NewOf(a.DType(), a.R, b.C)
 	MatMulInto(out, a, b)
 	return out
 }
@@ -131,26 +190,32 @@ func MatMul(a, b *Mat) *Mat {
 // every dst row in the worker's range streams over it.
 const mmKBlock = 256
 
-// MatMulInto computes dst = a×b, reusing dst's storage. dst must not alias
-// a or b.
+// MatMulInto computes dst = a×b, reusing dst's storage. All operands must
+// share a dtype — the matching backend's kernel runs. dst must not alias a
+// or b.
 func MatMulInto(dst, a, b *Mat) {
 	if a.C != b.R || dst.R != a.R || dst.C != b.C {
 		panic("tensor: matmul-into shape mismatch")
 	}
-	matmulBias(dst, a, b, nil)
+	dt := dst.DType()
+	mustSameDType(dt, a, b)
+	For(dt).MatMulBias(dst, a, b, nil)
 }
 
 // MatMulBiasInto computes dst = a×b + bias, with the row-vector bias
 // broadcast over dst's rows and folded into the accumulation epilogue so
-// the result needs no second pass. dst must not alias a or b.
-func MatMulBiasInto(dst, a, b *Mat, bias []float64) {
+// the result needs no second pass. bias must hold dst.C elements in the
+// operands' dtype. dst must not alias a or b.
+func MatMulBiasInto(dst, a, b, bias *Mat) {
 	if a.C != b.R || dst.R != a.R || dst.C != b.C {
 		panic("tensor: matmul-into shape mismatch")
 	}
-	if len(bias) != dst.C {
+	if bias.Len() != dst.C {
 		panic("tensor: matmul bias length mismatch")
 	}
-	matmulBias(dst, a, b, bias)
+	dt := dst.DType()
+	mustSameDType(dt, a, b, bias)
+	For(dt).MatMulBias(dst, a, b, bias)
 }
 
 // matmulBias is the shared cache-blocked, 4-way k-unrolled kernel behind
@@ -159,8 +224,20 @@ func MatMulBiasInto(dst, a, b *Mat, bias []float64) {
 // and four a-coefficients are applied per pass over a dst row to quarter
 // the dst load/store traffic of the naive saxpy loop.
 func matmulBias(dst, a, b *Mat, bias []float64) {
+	work := 2 * a.R * a.C * b.C
+	if runsInline(a.R, work) {
+		matmulBiasRange(dst, a, b, bias, 0, a.R)
+		return
+	}
+	Parallel(a.R, work, func(i0, i1 int) {
+		matmulBiasRange(dst, a, b, bias, i0, i1)
+	})
+}
+
+// matmulBiasRange applies the kernel to dst rows [i0, i1).
+func matmulBiasRange(dst, a, b *Mat, bias []float64, i0, i1 int) {
 	kk, n := a.C, b.C
-	Parallel(a.R, 2*a.R*kk*n, func(i0, i1 int) {
+	{
 		for i := i0; i < i1; i++ {
 			drow := dst.V[i*n : i*n+n]
 			if bias == nil {
@@ -207,16 +284,38 @@ func matmulBias(dst, a, b *Mat, bias []float64) {
 				}
 			}
 		}
-	})
+	}
 }
 
-// MatMulATInto computes dst = aᵀ×b. dst must not alias a or b.
+// MatMulATInto computes dst = aᵀ×b. All operands must share a dtype. dst
+// must not alias a or b.
 func MatMulATInto(dst, a, b *Mat) {
 	if a.R != b.R || dst.R != a.C || dst.C != b.C {
 		panic("tensor: matmul-aT shape mismatch")
 	}
+	dt := dst.DType()
+	mustSameDType(dt, a, b)
+	For(dt).MatMulAT(dst, a, b)
+}
+
+// matmulAT is the float64 aᵀ×b kernel: same cache blocking and k-unroll as
+// matmulBias, with strided column loads from a.
+func matmulAT(dst, a, b *Mat) {
+	m := a.C
+	work := 2 * m * a.R * b.C
+	if runsInline(m, work) {
+		matmulATRange(dst, a, b, 0, m)
+		return
+	}
+	Parallel(m, work, func(i0, i1 int) {
+		matmulATRange(dst, a, b, i0, i1)
+	})
+}
+
+// matmulATRange applies the aᵀ×b kernel to dst rows [i0, i1).
+func matmulATRange(dst, a, b *Mat, i0, i1 int) {
 	kk, m, n := a.R, a.C, b.C
-	Parallel(m, 2*m*kk*n, func(i0, i1 int) {
+	{
 		for i := i0; i < i1; i++ {
 			drow := dst.V[i*n : i*n+n]
 			for j := range drow {
@@ -259,16 +358,36 @@ func MatMulATInto(dst, a, b *Mat) {
 				}
 			}
 		}
-	})
+	}
 }
 
-// MatMulBTInto computes dst = a×bᵀ. dst must not alias a or b.
+// MatMulBTInto computes dst = a×bᵀ. All operands must share a dtype. dst
+// must not alias a or b.
 func MatMulBTInto(dst, a, b *Mat) {
 	if a.C != b.C || dst.R != a.R || dst.C != b.R {
 		panic("tensor: matmul-bT shape mismatch")
 	}
+	dt := dst.DType()
+	mustSameDType(dt, a, b)
+	For(dt).MatMulBT(dst, a, b)
+}
+
+// matmulBT is the float64 a×bᵀ kernel with the 2×2 register tile.
+func matmulBT(dst, a, b *Mat) {
+	work := 2 * a.R * a.C * b.R
+	if runsInline(a.R, work) {
+		matmulBTRange(dst, a, b, 0, a.R)
+		return
+	}
+	Parallel(a.R, work, func(i0, i1 int) {
+		matmulBTRange(dst, a, b, i0, i1)
+	})
+}
+
+// matmulBTRange applies the a×bᵀ kernel to dst rows [i0, i1).
+func matmulBTRange(dst, a, b *Mat, i0, i1 int) {
 	kk, n := a.C, b.R
-	Parallel(a.R, 2*a.R*kk*n, func(i0, i1 int) {
+	{
 		i := i0
 		// 2×2 register tile: two a rows against two b rows share every
 		// operand load across two dot products, doubling the flops per load
@@ -310,7 +429,7 @@ func MatMulBTInto(dst, a, b *Mat) {
 				drow[j] = dotSeq(arow, b.V[j*kk:j*kk+kk])
 			}
 		}
-	})
+	}
 }
 
 // dotSeq is a single-chain inner product. The edge rows and columns of the
@@ -325,9 +444,9 @@ func dotSeq(a, b []float64) float64 {
 	return s
 }
 
-// Transpose returns a new matrix holding mᵀ.
+// Transpose returns a new matrix holding mᵀ, preserving the dtype.
 func (m *Mat) Transpose() *Mat {
-	out := New(m.C, m.R)
+	out := NewOf(m.DType(), m.C, m.R)
 	for i := 0; i < m.R; i++ {
 		for j := 0; j < m.C; j++ {
 			out.Set(j, i, m.At(i, j))
@@ -336,21 +455,25 @@ func (m *Mat) Transpose() *Mat {
 	return out
 }
 
-// Sum returns the sum of all elements.
+// Sum returns the sum of all elements, accumulated in float64 regardless
+// of storage dtype.
 func (m *Mat) Sum() float64 {
 	var s float64
 	for _, v := range m.V {
 		s += v
+	}
+	for _, v := range m.V32 {
+		s += float64(v)
 	}
 	return s
 }
 
 // Mean returns the arithmetic mean of all elements (0 for empty matrices).
 func (m *Mat) Mean() float64 {
-	if len(m.V) == 0 {
+	if m.Len() == 0 {
 		return 0
 	}
-	return m.Sum() / float64(len(m.V))
+	return m.Sum() / float64(m.Len())
 }
 
 // MaxAbs returns the largest absolute element value (0 for empty matrices).
@@ -361,14 +484,23 @@ func (m *Mat) MaxAbs() float64 {
 			s = a
 		}
 	}
+	for _, v := range m.V32 {
+		if a := math.Abs(float64(v)); a > s {
+			s = a
+		}
+	}
 	return s
 }
 
-// Norm2 returns the Euclidean norm of all elements.
+// Norm2 returns the Euclidean norm of all elements, accumulated in float64.
 func (m *Mat) Norm2() float64 {
 	var s float64
 	for _, v := range m.V {
 		s += v * v
+	}
+	for _, v := range m.V32 {
+		f := float64(v)
+		s += f * f
 	}
 	return math.Sqrt(s)
 }

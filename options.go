@@ -6,7 +6,39 @@ import (
 	"time"
 
 	"odin/internal/query"
+	"odin/internal/tensor"
 )
+
+// Backend selects the numeric compute backend the server's models run on.
+type Backend int
+
+const (
+	// Float64 is the reference backend: float64 storage and kernels,
+	// bit-identical to the original implementation. The default.
+	Float64 Backend = iota
+	// Float32 stores activations and frame batches in float32 and runs the
+	// vectorized kernels (AVX2 where available): about half the memory
+	// traffic and multiple-× matmul throughput, at float32 precision.
+	// Master weights and gradient accumulation stay float64; see
+	// DESIGN.md §8 for the determinism contract and tolerance audit.
+	Float32
+)
+
+// dtype maps the public Backend to the internal tensor dtype.
+func (b Backend) dtype() tensor.DType {
+	if b == Float32 {
+		return tensor.F32
+	}
+	return tensor.F64
+}
+
+// String names the backend as it appears in benchmark reports.
+func (b Backend) String() string {
+	if b == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
 
 // config is the resolved Server configuration. Options validate eagerly so
 // New can reject a bad configuration before any training happens.
@@ -26,6 +58,7 @@ type config struct {
 	dispatchLinger   time.Duration
 	trainAsync       bool
 	labelDelay       int // 0: keep the specializer default
+	backend          Backend
 }
 
 func defaultConfig() config {
@@ -212,6 +245,21 @@ func WithLabelDelay(frames int) Option {
 			return fmt.Errorf("odin: label delay must be positive, got %d", frames)
 		}
 		c.labelDelay = frames
+		return nil
+	}
+}
+
+// WithBackend selects the numeric compute backend (default Float64). The
+// choice applies to every model the server trains and serves — the DA-GAN
+// projector, the baseline detector and all recovery models. Within either
+// backend, results are bit-identical across worker counts; across backends
+// they agree to float32 precision (DESIGN.md §8).
+func WithBackend(b Backend) Option {
+	return func(c *config) error {
+		if b != Float64 && b != Float32 {
+			return fmt.Errorf("odin: unknown backend %d", int(b))
+		}
+		c.backend = b
 		return nil
 	}
 }

@@ -133,6 +133,7 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 		Hidden:   []int{128, 48},
 		LR:       0.001,
 		Seed:     s.cfg.seed + 7,
+		DType:    s.cfg.backend.dtype(),
 	}
 	dagan := core.TrainDAGAN(boot, enc, dgCfg, s.cfg.bootstrapEpochs, 32)
 	if err := ctx.Err(); err != nil {
@@ -141,6 +142,7 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 
 	baseCfg := detect.YOLOConfig(s.scene.H, s.scene.W)
 	baseCfg.Seed = s.cfg.seed + 9
+	baseCfg.DType = s.cfg.backend.dtype()
 	baseline := detect.NewGridDetector(baseCfg)
 	baseline.Fit(detect.SamplesFromFrames(boot), s.cfg.baselineEpochs, 16)
 	if err := ctx.Err(); err != nil {
@@ -149,6 +151,7 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 
 	cfg := core.DefaultConfig(s.scene)
 	cfg.Cluster.MaxClusters = s.cfg.maxModels
+	cfg.Spec.DType = s.cfg.backend.dtype()
 	cfg.DriftRecovery = s.cfg.driftRecovery
 	cfg.AsyncTrain = s.cfg.trainAsync
 	if s.cfg.labelDelay > 0 {
