@@ -5,10 +5,12 @@
 //
 //	odin-bench [-scale quick|full] [-exp all|fig1|fig2|fig4|fig5|table1|
 //	            table2|fig8|table3|table4|table5|fig9|table6|table7|
-//	            stream|query|dispatch|backend] [-workers 1,2,4,8]
+//	            stream|query|dispatch|backend|fleet-recovery]
+//	            [-workers 1,2,4,8]
 //	            [-streamout BENCH_stream.json] [-queryout BENCH_query.json]
 //	            [-dispatchout BENCH_dispatch.json]
-//	            [-backendout BENCH_backend.json] [-v]
+//	            [-backendout BENCH_backend.json]
+//	            [-fleetrecoveryout BENCH_fleet_recovery.json] [-v]
 //
 // Experiments share one context, so models trained for an earlier
 // experiment are reused by later ones. Four experiments drive the public
@@ -19,10 +21,13 @@
 // standing Stream.Subscribe query vs a bare Run session (→ -queryout),
 // "dispatch" measures the fleet dispatcher — per-stream vs cross-stream
 // batched throughput at 1/2/4/8 cameras and the recovery-stall p99 with
-// inline vs async drift training (→ -dispatchout), and "backend" compares
+// inline vs async drift training (→ -dispatchout), "backend" compares
 // the float32 compute backend against the float64 reference on matmul/conv
 // microkernels and end-to-end DetectBatch, gating a ≥1.5× float32 speedup
-// (→ -backendout).
+// (→ -backendout), and "fleet-recovery" measures the fleet model registry —
+// four cameras drifting through the same dawn, gating a ≥2× reduction in
+// scratch trainings via adopt/coalesce plus bit-identical registry-on
+// results across worker counts (→ -fleetrecoveryout).
 package main
 
 import (
@@ -43,6 +48,7 @@ func main() {
 	queryOut := flag.String("queryout", "BENCH_query.json", "output path of the 'query' experiment's JSON document")
 	dispatchOut := flag.String("dispatchout", "BENCH_dispatch.json", "output path of the 'dispatch' experiment's JSON document")
 	backendOut := flag.String("backendout", "BENCH_backend.json", "output path of the 'backend' experiment's JSON document")
+	fleetRecoveryOut := flag.String("fleetrecoveryout", "BENCH_fleet_recovery.json", "output path of the 'fleet-recovery' experiment's JSON document")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the 'stream' experiment's sharded sweep")
 	verbose := flag.Bool("v", false, "log model-training progress")
 	flag.Parse()
@@ -100,6 +106,12 @@ func main() {
 		}},
 		{"backend", func() {
 			if err := runBackendBench(scale, *backendOut, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}},
+		{"fleet-recovery", func() {
+			if err := runFleetRecoveryBench(scale, *fleetRecoveryOut, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -1,12 +1,17 @@
-// Fleet mode end to end: four cameras share one server through the fleet
-// dispatcher, and one drift recovery — trained asynchronously, off the
-// serving path — rescues all of them at once. The server bootstraps on
-// night scenes; dawn then breaks on every camera simultaneously. The
-// drift DETECTOR promotes a single shared day concept, the async trainer
-// builds its specialized model in the background while every camera keeps
-// streaming on the previous-best model (frames flagged RecoveryPending),
-// and the swap lands for the whole fleet in one atomic pointer update —
-// visible as the model generation stepping from 0 to 1 on every stream.
+// Fleet recovery end to end: four cameras, each with its OWN server (own
+// drift detector, own cluster state, own stream of frames), share one
+// model registry. The fleet bootstraps on the same night frames with the
+// same seed, so all four latent substrates are comparable — the
+// shared-substrate requirement of DESIGN.md §9. Dawn then breaks on every
+// camera. The first camera to reach the new regime claims it in the
+// registry and trains the recovery from scratch; the cameras behind it
+// resolve the same regime signature and either adopt the published model
+// outright or coalesce onto the in-flight build — one training serves the
+// whole fleet instead of four.
+//
+// The tail of the run prints each camera's trainer breakdown
+// (scratch/adopted/coalesced/warm) and the shared registry counters, so
+// you can see the single scratch build and the three reuses.
 package main
 
 import (
@@ -19,97 +24,100 @@ import (
 )
 
 const (
-	cameras     = 4
-	nightFrames = 80
-	dayFrames   = 700
+	cameras   = 4
+	dayFrames = 260
 )
 
-func main() {
-	ctx := context.Background()
-
+// newCamera builds one camera server wired to the shared registry. Every
+// camera uses the same seed: regime signatures live in the bootstrap
+// DA-GAN's latent space, so they are only comparable between servers that
+// bootstrapped identically.
+func newCamera(reg *odin.ModelRegistry, name string) *odin.Server {
 	srv, err := odin.New(
-		odin.WithSeed(9),
-		odin.WithBootstrapFrames(300),
-		odin.WithBootstrapEpochs(4),
-		odin.WithBaselineEpochs(12),
-		odin.WithDispatcher(true),  // merge the cameras' windows into shared batches
-		odin.WithTrainAsync(true),  // recoveries train off the serving path
+		odin.WithSeed(29),
+		odin.WithBootstrapFrames(150),
+		odin.WithBootstrapEpochs(2),
+		odin.WithBaselineEpochs(6),
 		odin.WithLabelDelay(10000), // keep this demo on the fast distilled recovery
+		odin.WithFleetRecovery(odin.FleetRecovery{Registry: reg, Source: name}),
 	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	return srv
+}
 
-	fmt.Println("bootstrapping on night scenes (the known world)...")
-	if err := srv.Bootstrap(ctx, srv.GenerateFrames(odin.NightData, 300)); err != nil {
-		log.Fatal(err)
+func main() {
+	ctx := context.Background()
+	reg := odin.NewModelRegistry(16)
+
+	srvs := make([]*odin.Server, cameras)
+	for c := range srvs {
+		srvs[c] = newCamera(reg, fmt.Sprintf("cam-%d", c))
 	}
 
-	// Every camera streams the same story: night, then dawn breaks.
+	// Identical boot frames on every camera → identical latent substrate.
+	// Bootstrapping on night only makes dawn genuinely out of distribution.
+	fmt.Println("bootstrapping 4 camera servers on the same night scenes...")
+	boot := srvs[0].GenerateFrames(odin.NightData, 150)
+	for _, srv := range srvs {
+		if err := srv.Bootstrap(ctx, boot); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Each camera gets its own day draw: same regime, different frames.
 	camFrames := make([][]*odin.Frame, cameras)
 	for c := range camFrames {
-		camFrames[c] = append(srv.GenerateFrames(odin.NightData, nightFrames),
-			srv.GenerateFrames(odin.DayData, dayFrames)...)
+		camFrames[c] = srvs[0].GenerateFrames(odin.DayData, dayFrames)
 	}
 
-	type camStats struct {
-		frames, interim int
-		drifts          int
-		lastInterim     int // last frame still served by the previous-best model
-	}
-	stats := make([]camStats, cameras)
-
-	fmt.Printf("streaming %d cameras through dawn (fleet-dispatched, async recovery)...\n", cameras)
+	fmt.Printf("dawn breaks on all %d cameras (shared model registry)...\n", cameras)
 	var wg sync.WaitGroup
-	for c := 0; c < cameras; c++ {
-		st, err := srv.OpenStream(ctx, odin.StreamOptions{Name: fmt.Sprintf("cam-%d", c)})
+	for c := range srvs {
+		st, err := srvs[c].OpenStream(ctx, odin.StreamOptions{Name: fmt.Sprintf("cam-%d", c), Workers: 2})
 		if err != nil {
 			log.Fatal(err)
 		}
 		wg.Add(1)
 		go func(c int, st *odin.Stream, frames []*odin.Frame) {
 			defer wg.Done()
-			in := make(chan *odin.Frame, len(frames))
-			for _, f := range frames {
-				in <- f
-			}
-			close(in)
-			s := &stats[c]
-			s.lastInterim = -1
-			for res := range st.Run(ctx, in) {
-				s.frames++
-				if res.Drift != nil {
-					s.drifts++
-					fmt.Printf("  DRIFT detected on cam-%d at frame %d: cluster %s promoted -> async recovery scheduled\n",
-						c, res.Seq, res.Drift.Cluster.Label)
+			for i, f := range frames {
+				res, err := st.Process(ctx, f)
+				if err != nil {
+					log.Fatal(err)
 				}
-				if res.RecoveryPending {
-					s.interim++ // served by the previous-best model while training
-					s.lastInterim = res.Seq
+				if res.Drift != nil {
+					fmt.Printf("  DRIFT on cam-%d at frame %d: cluster %s promoted -> fleet recovery scheduled\n",
+						c, i, res.Drift.Cluster.Label)
 				}
 			}
 		}(c, st, camFrames[c])
 	}
 	wg.Wait()
 
-	// Serving is done; let any recovery still training land.
-	if err := srv.WaitRecoveries(ctx); err != nil {
-		log.Fatal(err)
+	// Serving is done; let every recovery land (or attach to one that did).
+	for _, srv := range srvs {
+		if err := srv.WaitRecoveries(ctx); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	total := srv.Stats()
-	fmt.Printf("\nfleet: %d frames across %d cameras, %d drift events, %d recovered models resident (%.1f MB simulated)\n",
-		total.Frames, cameras, total.DriftEvents, srv.NumModels(), srv.MemoryMB())
-	fmt.Printf("model generation: %d — each recovery is one atomic swap serving every camera\n", srv.ModelGen())
-	for c, s := range stats {
-		swap := "the recoveries landed after its stream ended"
-		if s.lastInterim >= 0 && s.lastInterim < s.frames-1 {
-			swap = fmt.Sprintf("fully recovered from frame %d", s.lastInterim+1)
-		}
-		fmt.Printf("  cam-%d: %d frames, %d interim (previous-best) frames during recovery, %s\n",
-			c, s.frames, s.interim, swap)
+	fmt.Println("\nper-camera trainer breakdown (trained = scratch + adopted + coalesced + warm):")
+	for c, srv := range srvs {
+		ts := srv.TrainerStats()
+		fmt.Printf("  cam-%d: %d trained = %d scratch + %d adopted + %d coalesced + %d warm   (gen %d, %d drift events)\n",
+			c, ts.Trained, ts.Scratch, ts.Adopted, ts.Coalesced, ts.Warm,
+			srv.ModelGen(), srv.Stats().DriftEvents)
 	}
-	if err := srv.Close(); err != nil {
-		log.Fatal(err)
+	rst := reg.Stats()
+	fmt.Printf("shared registry: %d lookups -> %d miss (built), %d adopt + %d coalesce + %d warm (reused); %d models published\n",
+		rst.Lookups, rst.Misses, rst.AdoptHits, rst.Coalesced, rst.WarmHits, rst.Published)
+	fmt.Println("one scratch training recovered the whole fleet.")
+
+	for _, srv := range srvs {
+		if err := srv.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

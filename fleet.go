@@ -1,0 +1,71 @@
+package odin
+
+import (
+	"odin/internal/dispatch"
+	"odin/internal/registry"
+)
+
+// ModelRegistry is a fleet-level store of recovered drift models, shared by
+// servers via WithFleetRecovery: when one camera's server recovers from a
+// drift regime (dawn breaking, snow starting), the model is published here,
+// and other servers entering the same regime adopt it, warm-start from it,
+// or coalesce onto the in-flight build instead of training from scratch —
+// the ECCO-style correlated-recovery path (DESIGN.md §9). Create one with
+// NewModelRegistry and pass it to every server in the fleet.
+//
+// Signatures are only comparable between servers that share a bootstrap
+// substrate — same seed and same bootstrap frames — because the regime
+// signature lives in the DA-GAN latent space. Servers bootstrapped on
+// different substrates never match each other's entries (the distance is
+// effectively infinite), so sharing a registry across them is safe but
+// useless.
+type ModelRegistry struct {
+	reg *registry.Registry
+}
+
+// NewModelRegistry creates a fleet model registry bounded to capacity
+// resident models, evicting least-recently-used entries past it. capacity
+// ≤ 0 selects the default (32).
+func NewModelRegistry(capacity int) *ModelRegistry {
+	return &ModelRegistry{reg: registry.New(capacity)}
+}
+
+// Stats returns a snapshot of the registry telemetry.
+func (r *ModelRegistry) Stats() RegistryStats {
+	return r.reg.Stats()
+}
+
+// RegistryStats is fleet model-registry telemetry: resident size against
+// capacity, and per-resolution counters (every lookup is exactly one of an
+// adopt hit, a coalesce, a warm hit or a miss).
+type RegistryStats = registry.Stats
+
+// TrainerStats is async-trainer telemetry: jobs trained/failed/dropped,
+// with the trained count broken down by recovery path (scratch, warm-start,
+// adopted, coalesced).
+type TrainerStats = dispatch.TrainerStats
+
+// TrainerStats returns the async trainer's telemetry. Zero before
+// Bootstrap or without WithTrainAsync / WithFleetRecovery.
+func (s *Server) TrainerStats() TrainerStats {
+	s.mu.Lock()
+	tr := s.trainer
+	s.mu.Unlock()
+	if tr == nil {
+		return TrainerStats{}
+	}
+	return tr.Stats()
+}
+
+// RegistryStats returns the fleet model registry's telemetry. Zero before
+// Bootstrap or without WithFleetRecovery. With a shared registry the
+// counters aggregate the whole fleet, not just this server.
+func (s *Server) RegistryStats() RegistryStats {
+	s.mu.Lock()
+	reg := s.registry
+	s.mu.Unlock()
+	if reg == nil {
+		return RegistryStats{}
+	}
+	return reg.Stats()
+}

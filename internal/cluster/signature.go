@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"math"
+	"strconv"
+	"strings"
+
+	"odin/internal/tensor"
+)
+
+// Signature is a quantized fingerprint of a cluster's drift regime: the
+// centroid and distance scale of the cluster in latent space plus the
+// probability mass function of its ∆-band distance histogram. Two cameras
+// that share a bootstrap substrate (same projector) and enter the same
+// visual regime — dawn breaking, snow starting — produce clusters whose
+// signatures lie close under DistanceTo, which is what lets a fleet-level
+// model registry recognise "another camera already recovered from this"
+// (ECCO-style correlated recovery). Signatures are value snapshots: the
+// live cluster keeps evolving after Signature() is taken.
+type Signature struct {
+	// Key is the quantized exact-match key: centroid coordinates rounded to
+	// a grid of half the cluster's distance scale. Identically evolved
+	// clusters (same substrate, same frames) share a Key bit-for-bit;
+	// same-regime clusters on different cameras usually do, but the
+	// distance test below is the authoritative matcher — Key is only a
+	// cheap prefilter and a stable label for logs.
+	Key string
+	// Centroid is the cluster centroid in the projector's latent space.
+	Centroid []float64
+	// Scale is the cluster's running mean raw distance to the centroid —
+	// the normalisation constant of the paper's d: ℜⁿ → [0,1) metric.
+	Scale float64
+	// Hist is the Laplace-smoothed PMF of the cluster's normalised-distance
+	// histogram (the ∆-band distribution).
+	Hist []float64
+}
+
+// Signature returns the cluster's current drift-regime signature.
+func (c *Cluster) Signature() Signature {
+	sig := Signature{
+		Centroid: append([]float64(nil), c.centroid...),
+		Scale:    c.scale,
+		Hist:     c.Tracker.Hist.Probs(),
+	}
+	sig.Key = quantKey(sig.Centroid, sig.Scale)
+	return sig
+}
+
+// quantKey renders centroid coordinates quantized to a scale-relative grid.
+func quantKey(centroid []float64, scale float64) string {
+	step := scale / 2
+	if step <= 0 {
+		step = 1e-9
+	}
+	var b strings.Builder
+	for i, v := range centroid {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteString(strconv.FormatInt(int64(math.Round(v/step)), 10))
+	}
+	return b.String()
+}
+
+// DistanceTo returns a dissimilarity in [0, 1] between two regimes: the
+// normalised centroid distance r/(r+s̄) — the paper's d metric with s̄ the
+// mean of both clusters' scales — blended with half the L1 divergence
+// between their ∆-band distance distributions. 0 means identical regimes;
+// values near 1 mean the centroids are many cluster radii apart.
+// Signatures over different latent spaces (dimension mismatch) are
+// infinitely far apart.
+func (s Signature) DistanceTo(o Signature) float64 {
+	if len(s.Centroid) == 0 || len(s.Centroid) != len(o.Centroid) {
+		return math.Inf(1)
+	}
+	r := tensor.L2(s.Centroid, o.Centroid)
+	sbar := (s.Scale + o.Scale) / 2
+	if sbar <= 0 {
+		sbar = 1e-9
+	}
+	dc := r / (r + sbar)
+
+	// ∆-band distribution divergence: ½·L1 between PMFs ∈ [0,1]. A regime
+	// with the same centroid but a very different distance spread (e.g. a
+	// transient fluctuation vs a settled concept) is pushed apart, which is
+	// part of the adoption gate against pulling in a foreign model.
+	hl1 := 1.0
+	if len(s.Hist) == len(o.Hist) && len(s.Hist) > 0 {
+		var l1 float64
+		for i := range s.Hist {
+			l1 += math.Abs(s.Hist[i] - o.Hist[i])
+		}
+		hl1 = l1 / 2
+	}
+	return 0.75*dc + 0.25*hl1
+}

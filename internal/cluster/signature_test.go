@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"odin/internal/tensor"
+)
+
+// grownCluster drives a fresh set with a stationary concept until a cluster
+// forms and returns it.
+func grownCluster(t *testing.T, seed uint64, centre []float64, sigma float64) *Cluster {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	s := NewSet(quickConfig())
+	for i := 0; i < 400; i++ {
+		s.Observe(gaussianBlob(rng, centre, sigma))
+	}
+	if len(s.Permanent) != 1 {
+		t.Fatalf("expected 1 cluster, got %d", len(s.Permanent))
+	}
+	return s.Permanent[0]
+}
+
+func TestSignatureSelfDistanceZero(t *testing.T) {
+	c := grownCluster(t, 1, []float64{2, -1, 0.5, 3}, 0.3)
+	sig := c.Signature()
+	if d := sig.DistanceTo(sig); d != 0 {
+		t.Fatalf("self distance = %v, want 0", d)
+	}
+	if len(sig.Centroid) != 4 || sig.Scale <= 0 || len(sig.Hist) == 0 || sig.Key == "" {
+		t.Fatalf("signature not fully populated: %+v", sig)
+	}
+}
+
+func TestSignatureIsSnapshot(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	centre := []float64{2, -1, 0.5, 3}
+	s := NewSet(quickConfig())
+	for i := 0; i < 400; i++ {
+		s.Observe(gaussianBlob(rng, centre, 0.3))
+	}
+	c := s.Permanent[0]
+	sig := c.Signature()
+	saved := append([]float64(nil), sig.Centroid...)
+	// Keep evolving the live cluster far away; the snapshot must not move.
+	for i := 0; i < 200; i++ {
+		s.Observe(gaussianBlob(rng, []float64{2.5, -0.5, 1, 3.5}, 0.3))
+	}
+	for i := range saved {
+		if sig.Centroid[i] != saved[i] {
+			t.Fatalf("signature centroid mutated at dim %d", i)
+		}
+	}
+}
+
+func TestSignatureSameRegimeAcrossSubstrates(t *testing.T) {
+	// Two independently grown clusters over the same concept (different
+	// sample noise) must be close; a different concept must be far.
+	centre := []float64{2, -1, 0.5, 3}
+	a := grownCluster(t, 1, centre, 0.3).Signature()
+	b := grownCluster(t, 2, centre, 0.3).Signature()
+	far := grownCluster(t, 3, []float64{-4, 5, -2, 0}, 0.3).Signature()
+
+	same := a.DistanceTo(b)
+	diff := a.DistanceTo(far)
+	if same >= 0.25 {
+		t.Fatalf("same-regime distance = %v, want < 0.25 (adopt gate)", same)
+	}
+	if diff <= 0.6 {
+		t.Fatalf("cross-regime distance = %v, want > 0.6 (outside warm gate)", diff)
+	}
+	if same >= diff {
+		t.Fatalf("same-regime %v not closer than cross-regime %v", same, diff)
+	}
+}
+
+func TestSignatureDistanceSymmetric(t *testing.T) {
+	a := grownCluster(t, 1, []float64{2, -1, 0.5, 3}, 0.3).Signature()
+	b := grownCluster(t, 2, []float64{1, 0, 1, 2}, 0.4).Signature()
+	if d1, d2 := a.DistanceTo(b), b.DistanceTo(a); math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("distance not symmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestSignatureDimensionMismatchInfinite(t *testing.T) {
+	a := grownCluster(t, 1, []float64{2, -1, 0.5, 3}, 0.3).Signature()
+	b := Signature{Centroid: []float64{1, 2}, Scale: 1}
+	if d := a.DistanceTo(b); !math.IsInf(d, 1) {
+		t.Fatalf("dimension mismatch distance = %v, want +Inf", d)
+	}
+	var empty Signature
+	if d := empty.DistanceTo(empty); !math.IsInf(d, 1) {
+		t.Fatalf("empty signature distance = %v, want +Inf", d)
+	}
+}
+
+func TestSignatureKeyStableUnderQuantization(t *testing.T) {
+	// Identical driving produces identical keys.
+	a := grownCluster(t, 7, []float64{2, -1, 0.5, 3}, 0.3).Signature()
+	b := grownCluster(t, 7, []float64{2, -1, 0.5, 3}, 0.3).Signature()
+	if a.Key != b.Key {
+		t.Fatalf("identically grown clusters differ in key: %q vs %q", a.Key, b.Key)
+	}
+}

@@ -86,6 +86,12 @@ type TrainJob struct {
 	AtFrame   int // pipeline frame counter when the job was scheduled
 	Seed      uint64
 	Frames    []*synth.Frame
+
+	// Sig is the cluster's drift-regime signature at schedule time, stamped
+	// under the pipeline lock so a fleet registry can match the job against
+	// other cameras' recoveries. Nil when the cluster is already gone or no
+	// registry consumer is attached — such jobs always build from scratch.
+	Sig *cluster.Signature
 }
 
 // ModelManager owns the baseline model and the per-cluster specialized
@@ -288,19 +294,43 @@ func (mm *ModelManager) dispatch(jobs []TrainJob, job TrainJob) []TrainJob {
 	return jobs
 }
 
-// BuildModel trains the job's model. It reads only immutable manager state
-// (config, scene, the frozen baseline detector) and the job's frame
-// snapshot, so it is safe to run outside the pipeline lock — the async
-// trainer's whole point. The swap happens separately via Odin.FinishJob.
+// BuildModel trains the job's model from scratch. It reads only immutable
+// manager state (config, scene, the frozen baseline detector) and the job's
+// frame snapshot, so it is safe to run outside the pipeline lock — the
+// async trainer's whole point. The swap happens separately via
+// Odin.FinishJob.
 func (mm *ModelManager) BuildModel(job TrainJob) *Model {
+	return mm.buildModel(job, nil)
+}
+
+// BuildModelFrom trains the job's model warm-started from another model's
+// weights — the fleet-recovery path where a regime-adjacent model from a
+// correlated camera seeds training. The warm model must be the same kind;
+// on kind or architecture mismatch training silently falls back to scratch
+// (the warm start is an optimisation, never a correctness requirement). A
+// successful weight copy halves the epoch budget: the borrowed weights are
+// already near a regime optimum, and the shortened fit is where the fleet's
+// aggregate recovery cost drops. Like BuildModel, safe outside the lock.
+func (mm *ModelManager) BuildModelFrom(job TrainJob, from *Model) *Model {
+	if from == nil || from.Det == nil || from.Kind != job.Kind {
+		from = nil
+	}
+	return mm.buildModel(job, from)
+}
+
+func (mm *ModelManager) buildModel(job TrainJob, warm *Model) *Model {
 	switch job.Kind {
 	case detect.KindLite:
 		cfg := detect.LiteConfig(mm.Scene.H, mm.Scene.W)
 		cfg.Seed = job.Seed
 		cfg.DType = mm.Cfg.DType
 		lite := detect.NewGridDetector(cfg)
+		epochs := mm.Cfg.LiteEpochs
+		if warm != nil && lite.CopyWeightsFrom(warm.Det) == nil {
+			epochs = (epochs + 1) / 2
+		}
 		samples := detect.DistillSamples(mm.Baseline.Det, job.Frames, mm.Cfg.DistillMinScore)
-		lite.Fit(samples, mm.Cfg.LiteEpochs, mm.Cfg.Batch)
+		lite.Fit(samples, epochs, mm.Cfg.Batch)
 		return &Model{
 			Kind: detect.KindLite, Det: lite, ClusterID: job.ClusterID,
 			Cost: detect.CostOf(detect.KindLite), CreatedAt: job.AtFrame, TrainedOn: len(job.Frames),
@@ -310,7 +340,11 @@ func (mm *ModelManager) BuildModel(job TrainJob) *Model {
 		cfg.Seed = job.Seed
 		cfg.DType = mm.Cfg.DType
 		spec := detect.NewGridDetector(cfg)
-		spec.Fit(detect.SamplesFromFrames(job.Frames), mm.Cfg.SpecEpochs, mm.Cfg.Batch)
+		epochs := mm.Cfg.SpecEpochs
+		if warm != nil && spec.CopyWeightsFrom(warm.Det) == nil {
+			epochs = (epochs + 1) / 2
+		}
+		spec.Fit(detect.SamplesFromFrames(job.Frames), epochs, mm.Cfg.Batch)
 		return &Model{
 			Kind: detect.KindSpecialized, Det: spec, ClusterID: job.ClusterID,
 			Cost: detect.CostOf(detect.KindSpecialized), CreatedAt: job.AtFrame, TrainedOn: len(job.Frames),

@@ -228,6 +228,20 @@ func (o *Odin) NumModels() int {
 	return o.Manager.NumModels()
 }
 
+// RegimeSignature returns the current drift-regime signature of a
+// permanent cluster, or false when no such cluster exists. Training jobs
+// carry the signature taken at schedule time (TrainJob.Sig); this accessor
+// exposes the live one for introspection and fleet tooling.
+func (o *Odin) RegimeSignature(clusterID int) (cluster.Signature, bool) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	c := o.Detector.Clusters.ByID(clusterID)
+	if c == nil {
+		return cluster.Signature{}, false
+	}
+	return c.Signature(), true
+}
+
 // Plan is the frozen outcome of Advance for one frame: the partial result
 // (cluster assignment, drift event) plus the captured model selection that
 // Execute will run. Capturing the selection is what decouples the ordered,
@@ -313,6 +327,19 @@ func (o *Odin) advanceLocked(f *synth.Frame, z []float64) Plan {
 		o.pendingJobs = append(o.pendingJobs, o.Manager.OnDrift(a.Drift, seeds, o.stats.Frames)...)
 	}
 	o.pendingJobs = append(o.pendingJobs, o.Manager.MaturePending(o.stats.Frames)...)
+	// Stamp each freshly scheduled job with its cluster's regime signature
+	// while the lock still freezes the cluster set — the snapshot a fleet
+	// registry matches against. Stamping at schedule time keeps the
+	// signature deterministic under deterministic driving.
+	for i := range o.pendingJobs {
+		j := &o.pendingJobs[i]
+		if j.Sig == nil {
+			if c := o.Detector.Clusters.ByID(j.ClusterID); c != nil {
+				sig := c.Signature()
+				j.Sig = &sig
+			}
+		}
+	}
 
 	// SELECTOR: pick the ensemble, fall back to the baseline when no
 	// specialized model exists yet. With async training the fallback IS the

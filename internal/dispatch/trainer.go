@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"odin/internal/core"
+	"odin/internal/registry"
 )
 
 // ErrTrainerClosed marks training jobs dropped because the trainer shut
@@ -15,7 +16,8 @@ var ErrTrainerClosed = errors.New("dispatch: trainer closed")
 
 // TrainerStats is trainer telemetry.
 type TrainerStats struct {
-	// Trained counts jobs whose model was built and swapped in.
+	// Trained counts jobs whose model was built and swapped in. It always
+	// equals Scratch + Warm + Adopted + Coalesced.
 	Trained int
 	// Failed counts jobs whose build errored or whose swap was rejected
 	// (cluster evicted mid-training, superseded model) — the pipeline kept
@@ -23,6 +25,32 @@ type TrainerStats struct {
 	Failed int
 	// Dropped counts jobs discarded by Close before they ran.
 	Dropped int
+
+	// Scratch counts installed models trained from scratch initialisation
+	// (registry miss, no registry, or fallback after an aborted coalesce).
+	Scratch int
+	// Warm counts installed models trained warm-started from a
+	// regime-adjacent registry model.
+	Warm int
+	// Adopted counts installed models taken directly from the registry —
+	// zero training.
+	Adopted int
+	// Coalesced counts installed models received from another pipeline's
+	// concurrent build of the same regime — this pipeline trained nothing.
+	Coalesced int
+}
+
+// queuedJob pairs a training job with its registry resolution, taken at
+// enqueue time. Resolving at enqueue — not when the job reaches the front
+// of the queue — is what makes fleet recovery deterministic and
+// deadlock-free: under deterministic driving the enqueue order is fixed, so
+// the builder of every coalesced regime is fixed; and because claims are
+// registered in enqueue order while queues drain FIFO, a coalesce wait
+// cycle across trainers would need strictly decreasing enqueue times around
+// the cycle, which is impossible (DESIGN.md §9).
+type queuedJob struct {
+	job core.TrainJob
+	res registry.Resolution
 }
 
 // Trainer drains drift-recovery training jobs on a single background
@@ -37,19 +65,34 @@ type TrainerStats struct {
 // its specialized upgrade; overlapping drift events on different streams
 // simply queue. A failed build rolls back: FinishJob drops the job and the
 // prior model keeps serving.
+//
+// With a fleet registry attached (AttachRegistry), each job is resolved
+// against the fleet's recovered models before building: adopt installs a
+// cached model directly, warm-start seeds training from cached weights,
+// coalesce waits for another pipeline's in-flight build of the same regime,
+// and a miss claims the regime, builds from scratch and publishes the
+// result for the rest of the fleet. Every path lands through the same
+// FinishJob atomic swap, so rollback semantics (evicted cluster, superseded
+// lite) are identical with and without the registry.
 type Trainer struct {
-	pipe  *core.Odin
-	build func(core.TrainJob) (*core.Model, error)
+	pipe      *core.Odin
+	build     func(core.TrainJob) (*core.Model, error)
+	buildFrom func(core.TrainJob, *core.Model) (*core.Model, error)
 
 	mu      sync.Mutex
-	queue   []core.TrainJob
+	queue   []queuedJob
 	busy    bool
 	closed  bool
 	waiters []chan struct{}
 	stats   TrainerStats
 
-	wake chan struct{}
-	done chan struct{}
+	reg    *registry.Registry
+	source string
+	pol    registry.Policy
+
+	wake    chan struct{}
+	done    chan struct{}
+	closing chan struct{}
 }
 
 // NewTrainer starts a trainer over the pipeline and installs itself as the
@@ -60,19 +103,43 @@ func NewTrainer(pipe *core.Odin) *Trainer {
 		build: func(job core.TrainJob) (*core.Model, error) {
 			return pipe.Manager.BuildModel(job), nil
 		},
-		wake: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		buildFrom: func(job core.TrainJob, from *core.Model) (*core.Model, error) {
+			return pipe.Manager.BuildModelFrom(job, from), nil
+		},
+		wake:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
 	}
 	pipe.SetTrainSink(t.Enqueue)
 	go t.loop()
 	return t
 }
 
-// SetBuild replaces the model-build function (tests inject failures with
-// it). Call before any job is scheduled.
+// AttachRegistry connects the trainer to a fleet model registry: every
+// subsequent job carrying a regime signature is resolved against it. source
+// names this pipeline in registry provenance; pol sets the adoption gates
+// (zero fields fall back to registry defaults). Call before serving frames.
+func (t *Trainer) AttachRegistry(reg *registry.Registry, source string, pol registry.Policy) {
+	t.mu.Lock()
+	t.reg = reg
+	t.source = source
+	t.pol = pol
+	t.mu.Unlock()
+}
+
+// SetBuild replaces the scratch model-build function (tests inject failures
+// with it). Call before any job is scheduled.
 func (t *Trainer) SetBuild(fn func(core.TrainJob) (*core.Model, error)) {
 	t.mu.Lock()
 	t.build = fn
+	t.mu.Unlock()
+}
+
+// SetBuildFrom replaces the warm-start build function (tests). Call before
+// any job is scheduled.
+func (t *Trainer) SetBuildFrom(fn func(core.TrainJob, *core.Model) (*core.Model, error)) {
+	t.mu.Lock()
+	t.buildFrom = fn
 	t.mu.Unlock()
 }
 
@@ -83,7 +150,8 @@ func (t *Trainer) Stats() TrainerStats {
 	return t.stats
 }
 
-// Enqueue appends jobs to the training queue without blocking. Jobs
+// Enqueue appends jobs to the training queue without blocking, resolving
+// each against the fleet registry (when attached) at enqueue time. Jobs
 // enqueued after Close are dropped immediately (their recoveries roll
 // back), never silently leaked.
 func (t *Trainer) Enqueue(jobs []core.TrainJob) {
@@ -99,7 +167,13 @@ func (t *Trainer) Enqueue(jobs []core.TrainJob) {
 		}
 		return
 	}
-	t.queue = append(t.queue, jobs...)
+	for _, job := range jobs {
+		q := queuedJob{job: job}
+		if t.reg != nil && job.Sig != nil {
+			q.res = t.reg.Resolve(job.Sig, job.Kind, t.source, t.pol)
+		}
+		t.queue = append(t.queue, q)
+	}
 	t.mu.Unlock()
 	select {
 	case t.wake <- struct{}{}:
@@ -123,24 +197,97 @@ func (t *Trainer) loop() {
 			<-t.wake
 			continue
 		}
-		job := t.queue[0]
+		q := t.queue[0]
 		t.queue = t.queue[1:]
 		t.busy = true
-		build := t.build
 		t.mu.Unlock()
 
-		start := time.Now()
-		m, err := build(job)
-		installed := t.pipe.FinishJob(job, m, time.Since(start), err)
-
-		t.mu.Lock()
-		if installed {
-			t.stats.Trained++
-		} else {
-			t.stats.Failed++
-		}
-		t.mu.Unlock()
+		t.runJob(q)
 	}
+}
+
+// runJob executes one dequeued job down the path its registry resolution
+// chose. Every branch terminates in exactly one FinishJob call, so the
+// pipeline's outstanding-recovery accounting stays balanced.
+func (t *Trainer) runJob(q queuedJob) {
+	job := q.job
+	switch q.res.Outcome {
+	case registry.OutcomeAdopt:
+		t.finish(job, adoptModel(q.res.Model, job), 0, nil, &t.stats.Adopted)
+
+	case registry.OutcomeCoalesce:
+		m, _, _, err := q.res.Ticket.Wait(t.closing)
+		switch {
+		case errors.Is(err, registry.ErrCanceled):
+			// Trainer is closing: drop the job like Close drops queued ones.
+			t.pipe.FinishJob(job, nil, 0, ErrTrainerClosed)
+			t.mu.Lock()
+			t.stats.Dropped++
+			t.mu.Unlock()
+		case err != nil:
+			// Builder aborted; fall back to our own scratch build.
+			t.runScratch(job, nil)
+		default:
+			t.finish(job, adoptModel(m, job), 0, nil, &t.stats.Coalesced)
+		}
+
+	case registry.OutcomeWarm:
+		start := time.Now()
+		m, err := t.buildFrom(job, q.res.Model)
+		t.finish(job, m, time.Since(start), err, &t.stats.Warm)
+
+	case registry.OutcomeMiss:
+		t.runScratch(job, q.res.Claim)
+
+	default: // OutcomeNone: no registry or unsigned job
+		t.runScratch(job, nil)
+	}
+}
+
+// runScratch builds from scratch and, when the job holds a registry claim,
+// publishes the result for the fleet (or aborts the claim on failure, so
+// coalesced waiters fall back instead of hanging). The model is published
+// even if this pipeline's install is rejected (e.g. its cluster was evicted
+// mid-build): the weights are still a valid recovery for the regime.
+func (t *Trainer) runScratch(job core.TrainJob, claim *registry.Claim) {
+	start := time.Now()
+	m, err := t.build(job)
+	if claim != nil {
+		if err != nil || m == nil {
+			claim.Abort()
+		} else {
+			defer func() { claim.Publish(m, t.pipe.ModelGen()) }()
+		}
+	}
+	t.finish(job, m, time.Since(start), err, &t.stats.Scratch)
+}
+
+// finish swaps the model in via FinishJob and books the outcome: Trained
+// plus the given breakdown counter on install, Failed on rollback.
+func (t *Trainer) finish(job core.TrainJob, m *core.Model, dur time.Duration, err error, kind *int) {
+	installed := t.pipe.FinishJob(job, m, dur, err)
+	t.mu.Lock()
+	if installed {
+		t.stats.Trained++
+		*kind++
+	} else {
+		t.stats.Failed++
+	}
+	t.mu.Unlock()
+}
+
+// adoptModel clones a registry model for installation into this pipeline:
+// same immutable detector (GridDetector inference is stateless, so sharing
+// the pointer across pipelines is safe), fresh cluster identity and
+// creation frame. TrainedOn carries over — it describes the weights.
+func adoptModel(src *core.Model, job core.TrainJob) *core.Model {
+	if src == nil {
+		return nil
+	}
+	m := *src
+	m.ClusterID = job.ClusterID
+	m.CreatedAt = job.AtFrame
+	return &m
 }
 
 // notifyIdleLocked wakes Wait callers when the trainer drains.
@@ -187,8 +334,10 @@ func (t *Trainer) Wait(ctx context.Context) error {
 }
 
 // Close stops the trainer: queued jobs are dropped (their recoveries roll
-// back to the prior model) and the call blocks until the background
-// goroutine — including any job mid-build — has exited. Idempotent.
+// back to the prior model, their registry claims abort so coalesced waiters
+// on other trainers fall back) and the call blocks until the background
+// goroutine — including any job mid-build or mid-coalesce-wait — has
+// exited. Idempotent.
 func (t *Trainer) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -201,8 +350,12 @@ func (t *Trainer) Close() {
 	t.queue = nil
 	t.stats.Dropped += len(dropped)
 	t.mu.Unlock()
-	for _, job := range dropped {
-		t.pipe.FinishJob(job, nil, 0, ErrTrainerClosed)
+	close(t.closing) // unblocks a coalesce wait in flight
+	for _, q := range dropped {
+		if q.res.Claim != nil {
+			q.res.Claim.Abort()
+		}
+		t.pipe.FinishJob(q.job, nil, 0, ErrTrainerClosed)
 	}
 	select {
 	case t.wake <- struct{}{}:

@@ -59,6 +59,7 @@ type config struct {
 	trainAsync       bool
 	labelDelay       int // 0: keep the specializer default
 	backend          Backend
+	fleet            *FleetRecovery
 }
 
 func defaultConfig() config {
@@ -245,6 +246,57 @@ func WithLabelDelay(frames int) Option {
 			return fmt.Errorf("odin: label delay must be positive, got %d", frames)
 		}
 		c.labelDelay = frames
+		return nil
+	}
+}
+
+// FleetRecovery configures cross-camera correlated recovery
+// (WithFleetRecovery).
+type FleetRecovery struct {
+	// Registry is the fleet-shared model registry. Pass the same
+	// NewModelRegistry value to every server in the fleet; nil gives this
+	// server a private registry (still useful: recurring regimes on one
+	// camera adopt their own earlier recoveries).
+	Registry *ModelRegistry
+	// Capacity bounds a private registry (ignored when Registry is set);
+	// ≤ 0 selects the default (32).
+	Capacity int
+	// AdoptDistance is the regime-signature distance in [0,1] at or under
+	// which a stored model is adopted outright (and an in-flight build is
+	// coalesced onto). 0 selects the default (0.25). Keep it tight: it is
+	// the guard against transient accuracy fluctuations pulling in a
+	// foreign model.
+	AdoptDistance float64
+	// WarmDistance is the distance at or under which a stored model
+	// warm-starts training instead of scratch initialisation. 0 selects the
+	// default (0.6). Must be ≥ AdoptDistance when both are set.
+	WarmDistance float64
+	// Source names this server in registry provenance and stats (e.g. a
+	// camera ID). Empty defaults to "server".
+	Source string
+}
+
+// WithFleetRecovery enables the fleet model registry on this server's
+// drift-recovery path. It implies WithTrainAsync(true): recoveries are
+// resolved against the registry by the background trainer, so training (or
+// adoption) never blocks serving. See DESIGN.md §9 for the adopt /
+// warm-start / coalesce decision table and the determinism contract.
+func WithFleetRecovery(fr FleetRecovery) Option {
+	return func(c *config) error {
+		if fr.AdoptDistance < 0 || fr.AdoptDistance > 1 {
+			return fmt.Errorf("odin: fleet adopt distance must be in [0,1], got %v", fr.AdoptDistance)
+		}
+		if fr.WarmDistance < 0 || fr.WarmDistance > 1 {
+			return fmt.Errorf("odin: fleet warm distance must be in [0,1], got %v", fr.WarmDistance)
+		}
+		if fr.AdoptDistance > 0 && fr.WarmDistance > 0 && fr.WarmDistance < fr.AdoptDistance {
+			return fmt.Errorf("odin: fleet warm distance %v must be ≥ adopt distance %v", fr.WarmDistance, fr.AdoptDistance)
+		}
+		if fr.Capacity < 0 {
+			return fmt.Errorf("odin: fleet registry capacity must be non-negative, got %d", fr.Capacity)
+		}
+		c.fleet = &fr
+		c.trainAsync = true
 		return nil
 	}
 }

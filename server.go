@@ -11,6 +11,7 @@ import (
 	"odin/internal/dispatch"
 	"odin/internal/gan"
 	"odin/internal/query"
+	"odin/internal/registry"
 	"odin/internal/synth"
 )
 
@@ -53,9 +54,10 @@ type Server struct {
 	pipeline *core.Odin
 	engine   *query.Engine
 	baseline *detect.GridDetector
-	batcher  *dispatch.Batcher // fleet dispatcher (WithDispatcher); nil otherwise
-	trainer  *dispatch.Trainer // async recovery trainer (WithTrainAsync); nil otherwise
-	booting  bool              // a Bootstrap is training outside the lock
+	batcher  *dispatch.Batcher  // fleet dispatcher (WithDispatcher); nil otherwise
+	trainer  *dispatch.Trainer  // async recovery trainer (WithTrainAsync); nil otherwise
+	registry *registry.Registry // fleet model registry (WithFleetRecovery); nil otherwise
+	booting  bool               // a Bootstrap is training outside the lock
 	booted   bool
 	closed   bool
 }
@@ -163,8 +165,22 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 	// The fleet subsystem: the trainer takes drift recoveries off the
 	// serving path, the batcher merges Run-session windows across streams.
 	var trainer *dispatch.Trainer
+	var reg *registry.Registry
 	if s.cfg.trainAsync {
 		trainer = dispatch.NewTrainer(pipeline)
+		if fr := s.cfg.fleet; fr != nil {
+			if fr.Registry != nil {
+				reg = fr.Registry.reg
+			} else {
+				reg = registry.New(fr.Capacity)
+			}
+			pol := registry.Policy{AdoptDistance: fr.AdoptDistance, WarmDistance: fr.WarmDistance}
+			source := fr.Source
+			if source == "" {
+				source = "server"
+			}
+			trainer.AttachRegistry(reg, source, pol)
+		}
 	}
 	var batcher *dispatch.Batcher
 	if s.cfg.dispatcher {
@@ -218,6 +234,7 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 	s.baseline = baseline
 	s.batcher = batcher
 	s.trainer = trainer
+	s.registry = reg
 	s.booted = true
 	s.mu.Unlock()
 	return nil
