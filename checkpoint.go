@@ -1,0 +1,168 @@
+package odin
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"odin/internal/checkpoint"
+	"odin/internal/detect"
+	"odin/internal/gan"
+	"odin/internal/query"
+	"odin/internal/synth"
+)
+
+// Checkpoint error sentinels, re-exported so callers can errors.Is against
+// the failure modes Restore distinguishes.
+var (
+	// ErrCheckpointBadMagic marks a stream that is not an ODIN checkpoint.
+	ErrCheckpointBadMagic = checkpoint.ErrBadMagic
+	// ErrCheckpointVersion marks a checkpoint written by an incompatible
+	// format version.
+	ErrCheckpointVersion = checkpoint.ErrVersionMismatch
+	// ErrCheckpointTruncated marks a checkpoint stream that ends early.
+	ErrCheckpointTruncated = checkpoint.ErrTruncated
+	// ErrCheckpointCorrupt marks a checkpoint whose bytes fail the CRC or
+	// whose payload fails to decode.
+	ErrCheckpointCorrupt = checkpoint.ErrCorrupt
+)
+
+// Checkpoint serializes the server's full recoverable state to w in the
+// versioned binary format of DESIGN.md §10: the bootstrapped DA-GAN
+// substrate, the baseline and every specialized detector (keyed by cluster,
+// with the ModelGen counter), the cluster/∆-band drift-detector state, the
+// outlier ring, the frame generator's position and — for a private fleet
+// registry — the registry entries with their regime signatures.
+//
+// Checkpoint first waits for training quiescence: every scheduled async
+// recovery lands or rolls back before state is captured (equivalent to
+// WaitRecoveries), so a checkpoint never contains a half-applied model
+// swap. Callers must pause frame submission for the duration of the call —
+// frames processed concurrently with Checkpoint land nondeterministically
+// on one side of the cut. Checkpoint also works after Close (the one
+// post-Close operation that does): Close drains the trainer
+// deterministically first, which is what makes checkpoint-on-shutdown
+// well-defined. Servers sharing a fleet registry checkpoint their own
+// state only; the shared registry belongs to the fleet, not to any one
+// server's checkpoint.
+//
+// Restore the result with Restore. Weights are stored as float64 masters
+// regardless of WithBackend, so a checkpoint can be restored under either
+// backend.
+func (s *Server) Checkpoint(w io.Writer) error {
+	s.mu.Lock()
+	if !s.booted {
+		s.mu.Unlock()
+		return ErrNotBootstrapped
+	}
+	pipeline, dagan, baseline := s.pipeline, s.dagan, s.baseline
+	trainer := s.trainer
+	reg := s.registry
+	sharedReg := s.cfg.fleet != nil && s.cfg.fleet.Registry != nil
+	s.mu.Unlock()
+
+	// Quiescence: every scheduled recovery must land or roll back before we
+	// capture state — the snapshot does not carry in-flight jobs. On a
+	// closed server the trainer has already drained; Wait returns at once.
+	if trainer != nil {
+		if err := trainer.Wait(context.Background()); err != nil {
+			return fmt.Errorf("odin: checkpoint: draining trainer: %w", err)
+		}
+	}
+
+	s.genMu.Lock()
+	genState := s.gen.State()
+	s.genMu.Unlock()
+
+	payload := &checkpoint.Payload{
+		Seed:     s.cfg.seed,
+		Scene:    s.scene,
+		Gen:      genState,
+		DAGAN:    dagan.State(),
+		Baseline: baseline.State(),
+		Pipeline: pipeline.Snapshot(),
+	}
+	if reg != nil && !sharedReg {
+		st := reg.State()
+		payload.Registry = &st
+	}
+	return checkpoint.Write(w, s.cfg.backend.dtype(), payload)
+}
+
+// Restore rebuilds a Server from a checkpoint written by Checkpoint and
+// warm-starts it: the returned server is already bootstrapped (Bootstrap
+// returns ErrAlreadyBootstrapped) and continues exactly where the
+// checkpointed one stopped — same clusters, same models, same ∆-band
+// state, same frame-generator position, same derived training seeds.
+//
+// Options supply the serving topology exactly as they do for a fresh
+// server: workers, dispatcher, async training, fleet recovery, policy,
+// backend, label delay, min score. Pass the same options the original
+// server ran with to continue bit-identically (per backend — see below).
+// Learned state always comes from the checkpoint; in particular the stored
+// base seed overrides WithSeed (derived seeds must match the original),
+// and the restored cluster geometry overrides WithMaxModels. Bootstrap
+// schedule options (WithBootstrapFrames/Epochs, WithBaselineEpochs) are
+// accepted and ignored — nothing is retrained.
+//
+// Cross-backend restore: weights are float64 masters in the file, so a
+// checkpoint written under Float64 restores under Float32 (and vice
+// versa). Within one backend, restore is bit-identical; across backends,
+// results agree within the DESIGN.md §8 tolerance envelope.
+//
+// A fleet registry restores as follows: WithFleetRecovery sharing a
+// registry adopts the shared (live) one and ignores checkpointed entries;
+// WithFleetRecovery without a shared registry restores the checkpointed
+// entries into the private registry; no WithFleetRecovery drops them.
+func Restore(r io.Reader, opts ...Option) (*Server, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+
+	payload, _, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("odin: restore: %w", err)
+	}
+	// Serve the stored weights with the backend the caller asked for; the
+	// masters in the payload are dtype-independent.
+	payload.SetDType(cfg.backend.dtype())
+	// The stored seed governs every derived seed (specializer sequence);
+	// it must survive restart for post-restore training to match.
+	cfg.seed = payload.Seed
+
+	engine := query.NewEngine()
+	engine.SetMinScore(cfg.minScore)
+	s := &Server{
+		cfg:    cfg,
+		scene:  payload.Scene,
+		gen:    synth.GenFromState(payload.Gen),
+		engine: engine,
+	}
+
+	dagan, err := gan.FromState(payload.DAGAN)
+	if err != nil {
+		return nil, fmt.Errorf("odin: restore projector: %w", err)
+	}
+	baseline, err := detect.FromState(payload.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("odin: restore baseline: %w", err)
+	}
+	pipeline, trainer, reg, batcher, err := s.assemble(dagan, baseline, &payload.Pipeline, payload.Registry)
+	if err != nil {
+		return nil, fmt.Errorf("odin: restore: %w", err)
+	}
+
+	s.mu.Lock()
+	s.pipeline = pipeline
+	s.dagan = dagan
+	s.baseline = baseline
+	s.batcher = batcher
+	s.trainer = trainer
+	s.registry = reg
+	s.booted = true
+	s.mu.Unlock()
+	return s, nil
+}

@@ -5,12 +5,13 @@
 //
 //	odin-bench [-scale quick|full] [-exp all|fig1|fig2|fig4|fig5|table1|
 //	            table2|fig8|table3|table4|table5|fig9|table6|table7|
-//	            stream|query|dispatch|backend|fleet-recovery]
+//	            stream|query|dispatch|backend|fleet-recovery|restore]
 //	            [-workers 1,2,4,8]
 //	            [-streamout BENCH_stream.json] [-queryout BENCH_query.json]
 //	            [-dispatchout BENCH_dispatch.json]
 //	            [-backendout BENCH_backend.json]
-//	            [-fleetrecoveryout BENCH_fleet_recovery.json] [-v]
+//	            [-fleetrecoveryout BENCH_fleet_recovery.json]
+//	            [-restoreout BENCH_restore.json] [-v]
 //
 // Experiments share one context, so models trained for an earlier
 // experiment are reused by later ones. Four experiments drive the public
@@ -24,10 +25,13 @@
 // inline vs async drift training (→ -dispatchout), "backend" compares
 // the float32 compute backend against the float64 reference on matmul/conv
 // microkernels and end-to-end DetectBatch, gating a ≥1.5× float32 speedup
-// (→ -backendout), and "fleet-recovery" measures the fleet model registry —
+// (→ -backendout), "fleet-recovery" measures the fleet model registry —
 // four cameras drifting through the same dawn, gating a ≥2× reduction in
 // scratch trainings via adopt/coalesce plus bit-identical registry-on
-// results across worker counts (→ -fleetrecoveryout).
+// results across worker counts (→ -fleetrecoveryout), and "restore"
+// measures warm restart from a checkpoint against cold re-bootstrap,
+// gating a ≥5× time-to-first-detection speedup plus a bit-identical
+// post-checkpoint tail replay (→ -restoreout).
 package main
 
 import (
@@ -49,6 +53,7 @@ func main() {
 	dispatchOut := flag.String("dispatchout", "BENCH_dispatch.json", "output path of the 'dispatch' experiment's JSON document")
 	backendOut := flag.String("backendout", "BENCH_backend.json", "output path of the 'backend' experiment's JSON document")
 	fleetRecoveryOut := flag.String("fleetrecoveryout", "BENCH_fleet_recovery.json", "output path of the 'fleet-recovery' experiment's JSON document")
+	restoreOut := flag.String("restoreout", "BENCH_restore.json", "output path of the 'restore' experiment's JSON document")
 	workersFlag := flag.String("workers", "1,2,4,8", "comma-separated worker counts for the 'stream' experiment's sharded sweep")
 	verbose := flag.Bool("v", false, "log model-training progress")
 	flag.Parse()
@@ -112,6 +117,12 @@ func main() {
 		}},
 		{"fleet-recovery", func() {
 			if err := runFleetRecoveryBench(scale, *fleetRecoveryOut, os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}},
+		{"restore", func() {
+			if err := runRestoreBench(scale, *restoreOut, os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}

@@ -1,0 +1,411 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"odin"
+	"odin/internal/checkpoint"
+	"odin/internal/serveapi"
+)
+
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// quickOptions is the fast bootstrap schedule the facade tests use.
+func quickOptions(seed uint64) []odin.Option {
+	return []odin.Option{
+		odin.WithSeed(seed),
+		odin.WithBootstrapFrames(80),
+		odin.WithBootstrapEpochs(1),
+		odin.WithBaselineEpochs(2),
+	}
+}
+
+func quickServer(t *testing.T, seed uint64, extra ...odin.Option) *odin.Server {
+	t.Helper()
+	srv, err := odin.New(append(quickOptions(seed), extra...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Bootstrap(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// driftFrames generates a Night→Day stream from srv's generator.
+func driftFrames(srv *odin.Server, perPhase int) []*odin.Frame {
+	frames := srv.GenerateFrames(odin.NightData, perPhase)
+	return append(frames, srv.GenerateFrames(odin.DayData, perPhase)...)
+}
+
+func postJSON[T any](t *testing.T, client *http.Client, url string, body any) T {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s = %d: %s", url, resp.StatusCode, raw)
+	}
+	var out T
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("POST %s: decode %q: %v", url, raw, err)
+	}
+	return out
+}
+
+// feedHTTP pushes frames through an HTTP stream session in batches and
+// returns the fingerprints in frame order.
+func feedHTTP(t *testing.T, client *http.Client, base, sessID string, frames []*odin.Frame, batch int) []string {
+	t.Helper()
+	fps := make([]string, 0, len(frames))
+	seqBase := -1 // seqs are pipeline-global; a restored server resumes mid-sequence
+	for i := 0; i < len(frames); i += batch {
+		j := min(i+batch, len(frames))
+		req := serveapi.FramesRequest{}
+		for _, f := range frames[i:j] {
+			req.Frames = append(req.Frames, serveapi.FromFrame(f))
+		}
+		resp := postJSON[serveapi.FramesResponse](t, client,
+			base+"/v1/streams/"+sessID+"/frames", req)
+		if len(resp.Results) != j-i {
+			t.Fatalf("batch [%d:%d): got %d results", i, j, len(resp.Results))
+		}
+		for k, r := range resp.Results {
+			if seqBase == -1 {
+				seqBase = r.Seq
+			}
+			if r.Seq != seqBase+i+k {
+				t.Fatalf("result %d has seq %d, want %d", i+k, r.Seq, seqBase+i+k)
+			}
+			fps = append(fps, r.Fingerprint)
+		}
+	}
+	return fps
+}
+
+func openSession(t *testing.T, client *http.Client, base string, workers int) string {
+	t.Helper()
+	resp := postJSON[serveapi.CreateStreamResponse](t, client, base+"/v1/streams",
+		serveapi.CreateStreamRequest{Name: "test", Workers: workers})
+	if resp.ID == "" {
+		t.Fatal("empty session id")
+	}
+	return resp.ID
+}
+
+// TestServeHTTPConformance is the cross-process determinism check of
+// DESIGN.md §10: a replica fed the same frames over HTTP/JSON produces
+// bit-identical fingerprints to an in-process stream.
+func TestServeHTTPConformance(t *testing.T) {
+	const seed, perPhase = 7, 50
+
+	ref := quickServer(t, seed)
+	frames := driftFrames(ref, perPhase)
+
+	// In-process reference: sequential Process.
+	st, err := ref.OpenStream(context.Background(), odin.StreamOptions{Name: "ref"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(frames))
+	for i, f := range frames {
+		res, err := st.Process(context.Background(), f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Fingerprint()
+	}
+	st.Close()
+
+	// HTTP replica: same seed and options, frames over the wire, sharded
+	// session (workers=4) — ProcessBatch determinism extends over HTTP.
+	replica := quickServer(t, seed)
+	a := newApp(replica, nil, func() []odin.Option { return nil }, quietLogger())
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+
+	sessID := openSession(t, ts.Client(), ts.URL, 4)
+	got := feedHTTP(t, ts.Client(), ts.URL, sessID, frames, 16)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d: HTTP fingerprint %s != in-process %s", i, got[i], want[i])
+		}
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/"+sessID, nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE session = %d", resp.StatusCode)
+	}
+
+	// Replica and reference agree on aggregate state too.
+	var stats serveapi.StatsResponse
+	getJSON(t, ts.Client(), ts.URL+"/v1/stats", &stats)
+	if stats.Frames != ref.Stats().Frames || stats.DriftEvents != ref.Stats().DriftEvents {
+		t.Fatalf("replica stats %+v diverge from reference %+v", stats, ref.Stats())
+	}
+}
+
+func getJSON(t *testing.T, client *http.Client, url string, out any) {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %s", url, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("GET %s: decode %q: %v", url, raw, err)
+	}
+}
+
+// TestServeCheckpointRestoreEndpoints drives the full network warm-restart
+// loop: feed, checkpoint, keep feeding, restore, and verify the replay of
+// the post-checkpoint tail is bit-identical.
+func TestServeCheckpointRestoreEndpoints(t *testing.T) {
+	const seed, perPhase = 11, 40
+
+	srv := quickServer(t, seed)
+	frames := driftFrames(srv, perPhase)
+	cut := perPhase + perPhase/2
+	head, tail := frames[:cut], frames[cut:]
+
+	store, err := checkpoint.NewDirStore(t.TempDir(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newApp(srv, store, func() []odin.Option { return quickOptions(seed) }, quietLogger())
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	sessID := openSession(t, client, ts.URL, 0)
+	feedHTTP(t, client, ts.URL, sessID, head, 16)
+
+	ck := postJSON[serveapi.CheckpointResponse](t, client, ts.URL+"/v1/checkpoint", struct{}{})
+	if ck.Path == "" {
+		t.Fatal("checkpoint returned empty path")
+	}
+
+	first := feedHTTP(t, client, ts.URL, sessID, tail, 16)
+
+	// Restore refuses while the session is open.
+	resp, err := client.Post(ts.URL+"/v1/restore", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("restore with open session = %d, want 409", resp.StatusCode)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/streams/"+sessID, nil)
+	if resp, err = client.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	rk := postJSON[serveapi.CheckpointResponse](t, client, ts.URL+"/v1/restore", serveapi.RestoreRequest{})
+	if rk.Path != ck.Path {
+		t.Fatalf("restored from %s, want latest %s", rk.Path, ck.Path)
+	}
+
+	// The restored server rewound to the cut: replaying the tail matches
+	// the original continuation bit-for-bit.
+	sess2 := openSession(t, client, ts.URL, 4)
+	second := feedHTTP(t, client, ts.URL, sess2, tail, 16)
+	for i := range first {
+		if second[i] != first[i] {
+			t.Fatalf("tail frame %d after restore: %s != original %s", i, second[i], first[i])
+		}
+	}
+}
+
+// TestServeSubscribeSSE smoke-tests the standing-query window feed.
+func TestServeSubscribeSSE(t *testing.T) {
+	const seed, n = 3, 30
+
+	srv := quickServer(t, seed)
+	frames := srv.GenerateFrames(odin.NightData, n)
+
+	a := newApp(srv, nil, func() []odin.Option { return nil }, quietLogger())
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	pq := postJSON[serveapi.PrepareResponse](t, client, ts.URL+"/v1/prepared",
+		serveapi.PrepareRequest{SQL: "SELECT COUNT(detections) FROM stream USING MODEL odin"})
+	sessID := openSession(t, client, ts.URL, 0)
+
+	resp, err := client.Get(ts.URL + "/v1/streams/" + sessID + "/subscribe?prepared=" + pq.ID + "&size=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("subscribe = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("subscribe content type = %q", ct)
+	}
+
+	// Read the SSE feed concurrently with frame submission — window
+	// delivery applies backpressure to the stream, so an unread
+	// subscription would stall the frames POST.
+	events := make(chan serveapi.WindowEvent, 8)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev serveapi.WindowEvent
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) == nil {
+				events <- ev
+			}
+		}
+	}()
+
+	feedHTTP(t, client, ts.URL, sessID, frames, 10)
+
+	for want := 0; want < 3; want++ {
+		ev, ok := <-events
+		if !ok {
+			t.Fatalf("SSE feed ended after %d windows, want 3", want)
+		}
+		if ev.Window != want {
+			t.Fatalf("window %d arrived as %d", want, ev.Window)
+		}
+		wantStart := want * 10
+		if ev.StartSeq != wantStart || ev.EndSeq != wantStart+9 {
+			t.Fatalf("window %d spans [%d,%d], want [%d,%d]",
+				want, ev.StartSeq, ev.EndSeq, wantStart, wantStart+9)
+		}
+		if ev.Err != "" {
+			t.Fatalf("window %d error: %s", want, ev.Err)
+		}
+	}
+}
+
+// TestServeEndpointErrors covers the non-happy paths.
+func TestServeEndpointErrors(t *testing.T) {
+	srv := quickServer(t, 5)
+	a := newApp(srv, nil, func() []odin.Option { return nil }, quietLogger())
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	var health serveapi.HealthResponse
+	getJSON(t, client, ts.URL+"/healthz", &health)
+	if !health.OK || !health.Booted {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/v1/streams/nope/frames", `{"frames":[]}`, http.StatusNotFound},
+		{"DELETE", "/v1/streams/nope", "", http.StatusNotFound},
+		{"POST", "/v1/prepared/nope/execute", `{"frames":[]}`, http.StatusNotFound},
+		{"POST", "/v1/prepared", `{"sql":"SELECT bogus FROM stream"}`, http.StatusBadRequest},
+		{"POST", "/v1/checkpoint", "", http.StatusServiceUnavailable}, // no store
+		{"POST", "/v1/restore", `{}`, http.StatusServiceUnavailable},  // no store, no path
+		{"GET", "/v1/generate?subset=fog", "", http.StatusBadRequest},
+		{"GET", "/v1/generate?subset=day&n=-1", "", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s %s = %d (%s), want %d", tc.method, tc.path, resp.StatusCode, raw, tc.want)
+		}
+		var e serveapi.ErrorResponse
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Fatalf("%s %s: error body %q not an ErrorResponse", tc.method, tc.path, raw)
+		}
+	}
+
+	// Generate serves frames through the wire format.
+	var gen serveapi.GenerateResponse
+	getJSON(t, client, ts.URL+"/v1/generate?subset=day&n=3", &gen)
+	if len(gen.Frames) != 3 {
+		t.Fatalf("generate returned %d frames, want 3", len(gen.Frames))
+	}
+}
+
+// TestServeShutdownCheckpoints verifies the graceful-shutdown contract:
+// shutdown closes sessions and the server, then writes a final checkpoint
+// that a new process can warm-start from.
+func TestServeShutdownCheckpoints(t *testing.T) {
+	const seed = 9
+	srv := quickServer(t, seed)
+	frames := driftFrames(srv, 30)
+
+	store, err := checkpoint.NewDirStore(t.TempDir(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := newApp(srv, store, func() []odin.Option { return quickOptions(seed) }, quietLogger())
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+
+	sessID := openSession(t, ts.Client(), ts.URL, 0)
+	feedHTTP(t, ts.Client(), ts.URL, sessID, frames, 15)
+
+	a.shutdown() // leaves the session open on purpose: shutdown closes it
+
+	path, err := store.Latest()
+	if err != nil {
+		t.Fatalf("no shutdown checkpoint: %v", err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	restored, err := odin.Restore(f, quickOptions(seed)...)
+	if err != nil {
+		t.Fatalf("restore from shutdown checkpoint: %v", err)
+	}
+	defer restored.Close()
+	if got := restored.Stats().Frames; got != len(frames) {
+		t.Fatalf("restored server saw %d frames, want %d", got, len(frames))
+	}
+}

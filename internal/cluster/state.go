@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+
+	"odin/internal/band"
+	"odin/internal/tensor"
+)
+
+// ClusterState is a value snapshot of one permanent cluster. All fields are
+// exported so the struct gob-encodes; slices are deep copies.
+type ClusterState struct {
+	ID       int
+	Label    string
+	N        int
+	Sum      []float64
+	Centroid []float64
+	Scale    float64
+	Tracker  band.TrackerState
+}
+
+// SetState is a value snapshot of the full online cluster set. The
+// temporary cluster is not stored explicitly: its centroid, scale and
+// distance distribution are a pure function of the sliding window
+// (observeTemp recomputes them on every observation), so SetFromState
+// rebuilds them from TempPoints. Past drift events are telemetry, not
+// behaviour, and are not captured — a restored set reports Events() from
+// the restore point onward.
+type SetState struct {
+	Config     Config
+	Permanent  []ClusterState
+	NextID     int
+	TempPoints [][]float64
+	KLEWMA     float64
+	TempObs    int
+	Seen       int
+}
+
+// State snapshots the set.
+func (s *Set) State() SetState {
+	st := SetState{
+		Config:  s.cfg,
+		NextID:  s.nextID,
+		KLEWMA:  s.klEWMA,
+		TempObs: s.tempObs,
+		Seen:    s.seen,
+	}
+	for _, c := range s.Permanent {
+		st.Permanent = append(st.Permanent, ClusterState{
+			ID:       c.ID,
+			Label:    c.Label,
+			N:        c.n,
+			Sum:      append([]float64(nil), c.sum...),
+			Centroid: append([]float64(nil), c.centroid...),
+			Scale:    c.scale,
+			Tracker:  c.Tracker.State(),
+		})
+	}
+	for _, p := range s.tempPoints {
+		st.TempPoints = append(st.TempPoints, append([]float64(nil), p...))
+	}
+	return st
+}
+
+// SetFromState rebuilds a cluster set that continues bit-identically from
+// the snapshot: the next Observe sees the same permanent clusters, the same
+// temporary window and the same smoothed KL signal the live set had.
+func SetFromState(st SetState) (*Set, error) {
+	if st.Config.Bins <= 0 || st.Config.Delta <= 0 || st.Config.Delta > 1 {
+		return nil, fmt.Errorf("cluster: restore: invalid config %+v", st.Config)
+	}
+	s := &Set{
+		cfg:     st.Config,
+		nextID:  st.NextID,
+		klEWMA:  st.KLEWMA,
+		tempObs: st.TempObs,
+		seen:    st.Seen,
+	}
+	for _, cs := range st.Permanent {
+		if cs.N > 0 && (len(cs.Sum) != len(cs.Centroid) || len(cs.Centroid) == 0) {
+			return nil, fmt.Errorf("cluster: restore: cluster %d has inconsistent centroid state", cs.ID)
+		}
+		c := &Cluster{
+			ID:       cs.ID,
+			Label:    cs.Label,
+			n:        cs.N,
+			sum:      append([]float64(nil), cs.Sum...),
+			centroid: append([]float64(nil), cs.Centroid...),
+			scale:    cs.Scale,
+			Tracker:  band.TrackerFromState(cs.Tracker),
+		}
+		s.Permanent = append(s.Permanent, c)
+	}
+	for _, p := range st.TempPoints {
+		s.tempPoints = append(s.tempPoints, append([]float64(nil), p...))
+	}
+	if len(s.tempPoints) > 0 {
+		s.rebuildTemp()
+	}
+	return s, nil
+}
+
+// rebuildTemp reconstructs the temporary cluster from the sliding window,
+// mirroring the recomputation observeTemp performs on every observation so
+// the restored in-memory state matches the live one exactly.
+func (s *Set) rebuildTemp() {
+	t := newCluster(-1, s.cfg.Bins, s.cfg.Delta)
+	t.centroid = tensor.Centroid(s.tempPoints)
+	var mean float64
+	raw := make([]float64, len(s.tempPoints))
+	for i, p := range s.tempPoints {
+		raw[i] = tensor.L2(p, t.centroid)
+		mean += raw[i]
+	}
+	t.scale = mean / float64(len(s.tempPoints))
+	t.n = len(s.tempPoints)
+	s.tempDists = s.tempDists[:0]
+	for _, r := range raw {
+		sc := t.scale
+		if sc <= 0 {
+			sc = 1e-9
+		}
+		s.tempDists = append(s.tempDists, r/(r+sc))
+	}
+	t.Tracker.Rebuild(s.tempDists)
+	s.temp = t
+}

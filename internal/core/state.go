@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"odin/internal/cluster"
+	"odin/internal/detect"
+	"odin/internal/gan"
+	"odin/internal/synth"
+)
+
+// ModelState is a value snapshot of one deployed recovery model. Cost is
+// not stored — it is a pure function of the kind and recomputed on restore.
+type ModelState struct {
+	Kind      detect.Kind
+	ClusterID int
+	CreatedAt int
+	TrainedOn int
+	Det       detect.State
+}
+
+// CaptureModel snapshots a model.
+func CaptureModel(m *Model) ModelState {
+	return ModelState{
+		Kind:      m.Kind,
+		ClusterID: m.ClusterID,
+		CreatedAt: m.CreatedAt,
+		TrainedOn: m.TrainedOn,
+		Det:       m.Det.State(),
+	}
+}
+
+// ModelFromState rebuilds a model from a snapshot.
+func ModelFromState(st ModelState) (*Model, error) {
+	det, err := detect.FromState(st.Det)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore model for cluster %d: %w", st.ClusterID, err)
+	}
+	return &Model{
+		Kind:      st.Kind,
+		Det:       det,
+		ClusterID: st.ClusterID,
+		Cost:      detect.CostOf(st.Kind),
+		CreatedAt: st.CreatedAt,
+		TrainedOn: st.TrainedOn,
+	}, nil
+}
+
+// PendingState mirrors one label-delay entry (a drifted cluster whose
+// specialized build is scheduled for a future frame index).
+type PendingState struct {
+	ClusterID int
+	ReadyAt   int
+}
+
+// ManagerState is a value snapshot of the model manager's recoverable
+// state: the deployed per-cluster models, the ∆-BM most-recent pointer, the
+// per-cluster training frame buffers, the label-delay queue and the
+// seed/generation counters. The baseline model is not stored here — the
+// facade serializes the baseline detector once and the manager is rebuilt
+// around it. The training log (diagnostics) and outstanding-job counters
+// are not captured: snapshots are taken at trainer quiescence, where no
+// jobs are in flight.
+type ManagerState struct {
+	Models []ModelState
+	// MostRecentCluster is the cluster ID the ∆-BM "most recent" pointer
+	// aliases, or -1 when unset. When the pointer references a model that
+	// is no longer deployed for its cluster, MostRecentOwn carries its full
+	// state instead.
+	MostRecentCluster int
+	MostRecentOwn     *ModelState
+	Buffers           map[int][]*synth.Frame
+	Pending           []PendingState
+	Seq               uint64
+	Gen               uint64
+}
+
+// OutlierState is one buffered outlier frame with its latent projection.
+type OutlierState struct {
+	Frame  *synth.Frame
+	Latent []float64
+}
+
+// PipelineState is the full recoverable state of one Odin pipeline:
+// cluster set, model manager, the outlier ring and the serving statistics.
+type PipelineState struct {
+	Clusters cluster.SetState
+	Manager  ManagerState
+	Outliers []OutlierState
+	Stats    Stats
+}
+
+// Snapshot captures the pipeline's recoverable state under the pipeline
+// lock. The caller must ensure training quiescence first (no in-flight
+// async jobs): outstanding-job counters are not captured, so a snapshot
+// taken mid-recovery would silently drop the pending swap.
+func (o *Odin) Snapshot() PipelineState {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+
+	mm := o.Manager
+	st := PipelineState{
+		Clusters: o.Detector.Clusters.State(),
+		Manager: ManagerState{
+			MostRecentCluster: -1,
+			Seq:               mm.seq,
+			Gen:               mm.gen,
+		},
+		Stats: o.stats,
+	}
+	// Deterministic order: ascending cluster ID.
+	for _, id := range sortedKeys(mm.byCluster) {
+		st.Manager.Models = append(st.Manager.Models, CaptureModel(mm.byCluster[id]))
+	}
+	if mr := mm.mostRecent; mr != nil {
+		if mm.byCluster[mr.ClusterID] == mr {
+			st.Manager.MostRecentCluster = mr.ClusterID
+		} else {
+			own := CaptureModel(mr)
+			st.Manager.MostRecentOwn = &own
+		}
+	}
+	if len(mm.buffers) > 0 {
+		st.Manager.Buffers = make(map[int][]*synth.Frame, len(mm.buffers))
+		for id, frames := range mm.buffers {
+			st.Manager.Buffers[id] = append([]*synth.Frame(nil), frames...)
+		}
+	}
+	for _, p := range mm.pending {
+		st.Manager.Pending = append(st.Manager.Pending, PendingState{ClusterID: p.clusterID, ReadyAt: p.readyAt})
+	}
+	for _, b := range o.outlierRing {
+		st.Outliers = append(st.Outliers, OutlierState{
+			Frame:  b.frame,
+			Latent: append([]float64(nil), b.latent...),
+		})
+	}
+	return st
+}
+
+// FromSnapshot rebuilds a pipeline that continues bit-identically from a
+// snapshot. cfg supplies the serving topology (async mode, specializer
+// schedule, drift-recovery switch) exactly as New does; the snapshot
+// supplies the learned state. cfg.Cluster is overridden by the snapshot's
+// cluster config so routing geometry always matches the restored set.
+func FromSnapshot(cfg Config, proj gan.Projector, baseline *detect.GridDetector, st PipelineState) (*Odin, error) {
+	cfg.Cluster = st.Clusters.Config
+	o := New(cfg, proj, baseline)
+
+	set, err := cluster.SetFromState(st.Clusters)
+	if err != nil {
+		return nil, err
+	}
+	o.Detector.Clusters = set
+
+	mm := o.Manager
+	for _, ms := range st.Manager.Models {
+		m, err := ModelFromState(ms)
+		if err != nil {
+			return nil, err
+		}
+		mm.byCluster[m.ClusterID] = m
+	}
+	switch {
+	case st.Manager.MostRecentOwn != nil:
+		m, err := ModelFromState(*st.Manager.MostRecentOwn)
+		if err != nil {
+			return nil, err
+		}
+		mm.mostRecent = m
+	case st.Manager.MostRecentCluster >= 0:
+		m, ok := mm.byCluster[st.Manager.MostRecentCluster]
+		if !ok {
+			return nil, fmt.Errorf("core: restore: most-recent pointer references missing cluster %d", st.Manager.MostRecentCluster)
+		}
+		mm.mostRecent = m
+	}
+	for id, frames := range st.Manager.Buffers {
+		mm.buffers[id] = append([]*synth.Frame(nil), frames...)
+	}
+	for _, p := range st.Manager.Pending {
+		mm.pending = append(mm.pending, pendingSpec{clusterID: p.ClusterID, readyAt: p.ReadyAt})
+	}
+	mm.seq = st.Manager.Seq
+	mm.gen = st.Manager.Gen
+
+	for _, b := range st.Outliers {
+		o.outlierRing = append(o.outlierRing, bufferedOutlier{
+			frame:  b.Frame,
+			latent: append([]float64(nil), b.Latent...),
+		})
+	}
+	o.stats = st.Stats
+	return o, nil
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys(m map[int]*Model) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

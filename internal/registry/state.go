@@ -1,0 +1,76 @@
+package registry
+
+import (
+	"fmt"
+
+	"odin/internal/cluster"
+	"odin/internal/core"
+	"odin/internal/detect"
+)
+
+// EntryState is a value snapshot of one published registry entry.
+type EntryState struct {
+	Sig       cluster.Signature
+	Kind      detect.Kind
+	Model     core.ModelState
+	Source    string
+	SourceGen uint64
+	Hits      int
+	LastUse   uint64
+}
+
+// State is a value snapshot of the fleet model registry: the resident
+// entries (LRU order preserved via LastUse), the logical clock and the
+// lifetime counters. In-flight builds are not captured — snapshots are
+// taken at trainer quiescence, where no claims are outstanding.
+type State struct {
+	Capacity int
+	Tick     uint64
+	Stats    Stats
+	Entries  []EntryState
+}
+
+// State snapshots the registry.
+func (r *Registry) State() State {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := State{Capacity: r.capacity, Tick: r.tick, Stats: r.stats}
+	st.Stats.Size = len(r.entries)
+	st.Stats.Capacity = r.capacity
+	for _, e := range r.entries {
+		st.Entries = append(st.Entries, EntryState{
+			Sig:       e.sig,
+			Kind:      e.kind,
+			Model:     core.CaptureModel(e.model),
+			Source:    e.source,
+			SourceGen: e.sourceGen,
+			Hits:      e.hits,
+			LastUse:   e.lastUse,
+		})
+	}
+	return st
+}
+
+// FromState rebuilds a registry from a snapshot, preserving entry order,
+// the LRU clock and the lifetime counters.
+func FromState(st State) (*Registry, error) {
+	r := New(st.Capacity)
+	r.tick = st.Tick
+	r.stats = st.Stats
+	for _, es := range st.Entries {
+		m, err := core.ModelFromState(es.Model)
+		if err != nil {
+			return nil, fmt.Errorf("registry: restore entry %q: %w", es.Sig.Key, err)
+		}
+		r.entries = append(r.entries, &entry{
+			sig:       es.Sig,
+			kind:      es.Kind,
+			model:     m,
+			source:    es.Source,
+			sourceGen: es.SourceGen,
+			hits:      es.Hits,
+			lastUse:   es.LastUse,
+		})
+	}
+	return r, nil
+}

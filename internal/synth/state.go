@@ -1,0 +1,24 @@
+package synth
+
+// GenState is a value snapshot of a SceneGen's progress: the scene
+// configuration, the raw RNG state and the number of frames generated so
+// far. A generator rebuilt via GenFromState produces the exact frame
+// sequence (pixels, boxes and indices) the captured generator would have.
+type GenState struct {
+	Cfg SceneConfig
+	RNG uint64
+	N   int
+}
+
+// State snapshots the generator.
+func (s *SceneGen) State() GenState {
+	return GenState{Cfg: s.cfg, RNG: s.rng.State(), N: s.n}
+}
+
+// GenFromState rebuilds a generator from a snapshot.
+func GenFromState(st GenState) *SceneGen {
+	g := NewSceneGen(0, st.Cfg)
+	g.rng.SetState(st.RNG)
+	g.n = st.N
+	return g
+}

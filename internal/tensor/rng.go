@@ -18,6 +18,15 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// State returns the generator's internal state so it can be checkpointed.
+// A generator rebuilt via SetState continues the exact sample sequence.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the internal state with a value previously captured by
+// State. Unlike NewRNG it performs no warm-up draws: the next Uint64 is the
+// one the captured generator would have produced.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 pseudo-random bits (splitmix64).
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -53,6 +53,7 @@ type Server struct {
 	mu       sync.Mutex
 	pipeline *core.Odin
 	engine   *query.Engine
+	dagan    *gan.DAGAN
 	baseline *detect.GridDetector
 	batcher  *dispatch.Batcher  // fleet dispatcher (WithDispatcher); nil otherwise
 	trainer  *dispatch.Trainer  // async recovery trainer (WithTrainAsync); nil otherwise
@@ -151,6 +152,38 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 		return err
 	}
 
+	pipeline, trainer, reg, batcher, err := s.assemble(dagan, baseline, nil, nil)
+	if err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	if s.closed { // Close landed while training
+		s.mu.Unlock()
+		if trainer != nil {
+			trainer.Close()
+		}
+		return ErrServerClosed
+	}
+	s.pipeline = pipeline
+	s.dagan = dagan
+	s.baseline = baseline
+	s.batcher = batcher
+	s.trainer = trainer
+	s.registry = reg
+	s.booted = true
+	s.mu.Unlock()
+	return nil
+}
+
+// assemble builds the drift pipeline, the fleet subsystem (trainer,
+// registry, batcher) and the built-in query bindings around a trained
+// substrate. When restored is non-nil the pipeline continues from that
+// checkpoint snapshot instead of starting empty; regState, when non-nil,
+// seeds a private fleet registry with checkpointed entries (ignored when
+// the fleet shares a registry — that one is owned by the fleet, not this
+// server's checkpoint).
+func (s *Server) assemble(dagan *gan.DAGAN, baseline *detect.GridDetector, restored *core.PipelineState, regState *registry.State) (*core.Odin, *dispatch.Trainer, *registry.Registry, *dispatch.Batcher, error) {
 	cfg := core.DefaultConfig(s.scene)
 	cfg.Cluster.MaxClusters = s.cfg.maxModels
 	cfg.Spec.DType = s.cfg.backend.dtype()
@@ -160,7 +193,17 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 		cfg.Spec.LabelDelay = s.cfg.labelDelay
 	}
 	cfg.Selector.Policy, _ = s.cfg.policy.corePolicy() // validated by WithPolicy
-	pipeline := core.New(cfg, dagan, baseline)
+
+	var pipeline *core.Odin
+	if restored != nil {
+		var err error
+		pipeline, err = core.FromSnapshot(cfg, dagan, baseline, *restored)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+	} else {
+		pipeline = core.New(cfg, dagan, baseline)
+	}
 
 	// The fleet subsystem: the trainer takes drift recoveries off the
 	// serving path, the batcher merges Run-session windows across streams.
@@ -169,9 +212,17 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 	if s.cfg.trainAsync {
 		trainer = dispatch.NewTrainer(pipeline)
 		if fr := s.cfg.fleet; fr != nil {
-			if fr.Registry != nil {
+			switch {
+			case fr.Registry != nil:
 				reg = fr.Registry.reg
-			} else {
+			case regState != nil:
+				var err error
+				reg, err = registry.FromState(*regState)
+				if err != nil {
+					trainer.Close()
+					return nil, nil, nil, nil, err
+				}
+			default:
 				reg = registry.New(fr.Capacity)
 			}
 			pol := registry.Policy{AdoptDistance: fr.AdoptDistance, WarmDistance: fr.WarmDistance}
@@ -221,23 +272,7 @@ func (s *Server) Bootstrap(ctx context.Context, boot []*Frame) error {
 		}
 		return baseline.CountBatch(imgs, class, minScore)
 	})
-
-	s.mu.Lock()
-	if s.closed { // Close landed while training
-		s.mu.Unlock()
-		if trainer != nil {
-			trainer.Close()
-		}
-		return ErrServerClosed
-	}
-	s.pipeline = pipeline
-	s.baseline = baseline
-	s.batcher = batcher
-	s.trainer = trainer
-	s.registry = reg
-	s.booted = true
-	s.mu.Unlock()
-	return nil
+	return pipeline, trainer, reg, batcher, nil
 }
 
 // alive returns ErrServerClosed after Close, nil otherwise.
@@ -432,9 +467,13 @@ func (s *Server) dispatcher() *dispatch.Batcher {
 
 // Close marks the server closed. Subsequent Bootstrap, OpenStream, Query
 // and Stream operations return ErrServerClosed; in-flight frames finish.
-// The async trainer (if any) is stopped: queued recoveries are dropped and
-// roll back to the prior model, and Close blocks until a job mid-training
-// has finished.
+// The async trainer (if any) is stopped deterministically: queued
+// recoveries are dropped and roll back to the prior model, a job
+// mid-training finishes and lands, and Close blocks until that drain is
+// complete. Close → Checkpoint is therefore a valid shutdown sequence:
+// Checkpoint is the one post-Close operation that still works, and a
+// checkpoint taken after Close captures the final quiescent model set (no
+// in-flight trainer jobs, PendingRecoveries == 0). See DESIGN.md §10.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
