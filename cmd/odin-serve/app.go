@@ -126,6 +126,7 @@ func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := srv.Stats()
 	tr := srv.TrainerStats()
 	reg := srv.RegistryStats()
+	disp := srv.DispatchStats()
 	resp := serveapi.StatsResponse{
 		Frames:            st.Frames,
 		Outliers:          st.Outliers,
@@ -136,6 +137,11 @@ func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
 		ModelGen:          srv.ModelGen(),
 		PendingRecoveries: srv.PendingRecoveries(),
 		MemoryMB:          srv.MemoryMB(),
+		FullFrames:        st.FullFrames,
+		LiteFrames:        st.LiteFrames,
+		CountFrames:       st.CountFrames,
+		SkipFrames:        st.SkipFrames,
+		Dropped:           st.Dropped,
 		Trainer: &serveapi.TrainerStats{
 			Trained: tr.Trained, Scratch: tr.Scratch, Warm: tr.Warm,
 			Adopted: tr.Adopted, Coalesced: tr.Coalesced,
@@ -146,6 +152,11 @@ func (a *app) handleStats(w http.ResponseWriter, r *http.Request) {
 			AdoptHits: reg.AdoptHits, WarmHits: reg.WarmHits,
 			Coalesced: reg.Coalesced, Misses: reg.Misses,
 			Published: reg.Published, Evicted: reg.Evicted,
+		},
+		Dispatch: &serveapi.DispatchStats{
+			Batches: disp.Batches, Windows: disp.Windows, Frames: disp.Frames,
+			MaxMerge: disp.MaxMerge, PartialFlushes: disp.PartialFlushes,
+			QueuedWindows: disp.QueuedWindows, QueuedFrames: disp.QueuedFrames,
 		},
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -199,6 +210,7 @@ func (a *app) handleCreateStream(w http.ResponseWriter, r *http.Request) {
 	srv := a.server()
 	st, err := srv.OpenStream(r.Context(), odin.StreamOptions{
 		Name: req.Name, Workers: req.Workers, MaxBatch: req.MaxBatch,
+		Weight: req.Weight,
 	})
 	if err != nil {
 		writeErr(w, statusOf(err), err)
@@ -301,6 +313,9 @@ func (a *app) handleFrames(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}()
+	// Every submitted frame yields exactly one result — real or an
+	// admission-drop marker — so the batch's results are still exactly the
+	// next len(frames) reads (the QoS layer's zero-silent-loss contract).
 	resp := serveapi.FramesResponse{Results: make([]serveapi.Result, 0, len(frames))}
 	for range frames {
 		sr, ok := <-sess.out
@@ -309,8 +324,15 @@ func (a *app) handleFrames(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusConflict, odin.ErrStreamClosed)
 			return
 		}
+		if sr.Dropped {
+			resp.Dropped++
+			resp.Results = append(resp.Results, serveapi.Result{
+				Seq: sr.Seq, ClusterID: -1, Dropped: true,
+			})
+			continue
+		}
 		res := sr.Result
-		resp.Results = append(resp.Results, serveapi.Result{
+		wr := serveapi.Result{
 			Seq:             sr.Seq,
 			Fingerprint:     res.Fingerprint(),
 			ClusterID:       res.ClusterID,
@@ -319,8 +341,13 @@ func (a *app) handleFrames(w http.ResponseWriter, r *http.Request) {
 			RecoveryPending: res.RecoveryPending,
 			Drift:           res.Drift != nil,
 			SimLatency:      res.SimLatency,
+			Count:           res.Count,
 			Detections:      serveapi.FromDetections(res.Detections),
-		})
+		}
+		if res.Fidelity.Degraded() {
+			wr.Fidelity = res.Fidelity.String()
+		}
+		resp.Results = append(resp.Results, wr)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -466,6 +493,7 @@ func (a *app) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			GenLo:           wr.GenLo,
 			GenHi:           wr.GenHi,
 			RecoveryPending: wr.RecoveryPending,
+			Degraded:        wr.Degraded,
 			Count:           wr.Count,
 			PerFrame:        wr.PerFrame,
 		}

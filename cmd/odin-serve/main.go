@@ -49,6 +49,9 @@ func main() {
 	backendFlag := flag.String("backend", "float64", "compute backend: float64 or float32")
 	trainAsync := flag.Bool("train-async", true, "recover from drift asynchronously")
 	dispatcher := flag.Bool("dispatcher", false, "enable the cross-stream batch dispatcher")
+	maxQueue := flag.Int("max-queue", 0, "per-stream admission queue bound (0: unbounded legacy intake)")
+	dropPolicy := flag.String("drop-policy", "block", "full-queue policy: block, drop-newest, drop-oldest")
+	adaptive := flag.Bool("adaptive", false, "enable load-adaptive fidelity degradation under overload")
 	labelDelay := flag.Int("label-delay", 0, "frames of label latency before recovery starts")
 	maxModels := flag.Int("max-models", 8, "maximum concurrent specialized models (ignored when restoring)")
 	minScore := flag.Float64("min-score", 0, "query score threshold override (0: engine default)")
@@ -60,7 +63,8 @@ func main() {
 	logger := log.New(os.Stderr, "odin-serve: ", log.LstdFlags)
 	if err := run(*addr, *storeDir, *retain, *restoreFrom, *seed, *policyFlag,
 		*backendFlag, *trainAsync, *dispatcher, *labelDelay, *maxModels,
-		*minScore, *bootFrames, *bootEpochs, *baseEpochs, logger); err != nil {
+		*minScore, *bootFrames, *bootEpochs, *baseEpochs,
+		*maxQueue, *dropPolicy, *adaptive, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
@@ -68,9 +72,14 @@ func main() {
 func run(addr, storeDir string, retain int, restoreFrom string, seed uint64,
 	policyFlag, backendFlag string, trainAsync, dispatcher bool,
 	labelDelay, maxModels int, minScore float64,
-	bootFrames, bootEpochs, baseEpochs int, logger *log.Logger) error {
+	bootFrames, bootEpochs, baseEpochs int,
+	maxQueue int, dropPolicyFlag string, adaptive bool, logger *log.Logger) error {
 
 	policy, err := odin.ParsePolicy(policyFlag)
+	if err != nil {
+		return err
+	}
+	dropPol, err := odin.ParseDropPolicy(dropPolicyFlag)
 	if err != nil {
 		return err
 	}
@@ -99,6 +108,12 @@ func run(addr, storeDir string, retain int, restoreFrom string, seed uint64,
 		}
 		if minScore > 0 {
 			o = append(o, odin.WithMinScore(minScore))
+		}
+		if maxQueue > 0 {
+			o = append(o, odin.WithMaxQueue(maxQueue), odin.WithDropPolicy(dropPol))
+		}
+		if adaptive {
+			o = append(o, odin.WithAdaptiveFidelity(odin.AdaptiveFidelity{}))
 		}
 		return o
 	}

@@ -69,3 +69,21 @@ func (s *Server) RegistryStats() RegistryStats {
 	}
 	return reg.Stats()
 }
+
+// DispatchStats is fleet-batcher telemetry: merged batches, windows and
+// frames processed, the best merge factor achieved, plus the weighted
+// flush counters — how many flushes were cut by the frame budget and the
+// windows/frames currently queued behind one.
+type DispatchStats = dispatch.Stats
+
+// DispatchStats returns the fleet batcher's telemetry. Zero before
+// Bootstrap or without WithDispatcher.
+func (s *Server) DispatchStats() DispatchStats {
+	s.mu.Lock()
+	bat := s.batcher
+	s.mu.Unlock()
+	if bat == nil {
+		return DispatchStats{}
+	}
+	return bat.Stats()
+}

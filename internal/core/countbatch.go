@@ -40,7 +40,7 @@ func (o *Odin) CountBatch(frames []*synth.Frame, workers, class int, minScore fl
 
 	// Group single-model frames by model for the batched counting path;
 	// ensembles (and model-less frames) take the full execute fallback.
-	groups, rest := groupSingleModel(plans)
+	groups, rest := groupSingleModel(plans, nil)
 	for m, idx := range groups {
 		imgs := make([]*synth.Image, len(idx))
 		for k, i := range idx {

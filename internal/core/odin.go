@@ -8,6 +8,7 @@ import (
 	"odin/internal/cluster"
 	"odin/internal/detect"
 	"odin/internal/gan"
+	"odin/internal/qos"
 	"odin/internal/synth"
 )
 
@@ -67,6 +68,12 @@ type Result struct {
 	// training job, so the previous-best model served it in the interim.
 	// Always false with inline training.
 	RecoveryPending bool
+	// Fidelity is the treatment level the QoS layer chose for this frame
+	// (qos.Full unless load-adaptive degradation was active).
+	Fidelity qos.Fidelity
+	// Count is the frame's detection count under count-pushdown fidelity,
+	// where Detections are never materialised. Zero otherwise.
+	Count int
 }
 
 // Fingerprint reduces the Result to a comparable summary for determinism
@@ -80,16 +87,26 @@ func (r Result) Fingerprint() string {
 	if r.Drift != nil {
 		drift = fmt.Sprintf("%s/%d", r.Drift.Cluster.Label, r.Drift.NumSeeds)
 	}
-	return fmt.Sprintf("c=%d m=%v d=%s g=%d p=%v lat=%.9f dets=%v",
-		r.ClusterID, r.ModelsUsed, drift, r.ModelGen, r.RecoveryPending, r.SimLatency, r.Detections)
+	return fmt.Sprintf("c=%d m=%v d=%s g=%d p=%v f=%s n=%d lat=%.9f dets=%v",
+		r.ClusterID, r.ModelsUsed, drift, r.ModelGen, r.RecoveryPending, r.Fidelity, r.Count, r.SimLatency, r.Detections)
 }
 
-// Stats aggregates pipeline telemetry.
+// Stats aggregates pipeline telemetry. The per-fidelity counters split
+// Frames by the QoS treatment level each frame was advanced at; on paths
+// that never degrade, every frame counts as full fidelity. Dropped counts
+// frames shed by admission control before reaching the pipeline (they are
+// not part of Frames).
 type Stats struct {
 	Frames      int
 	Outliers    int
 	DriftEvents int
 	SimTime     float64 // total simulated GPU seconds
+
+	FullFrames  int
+	LiteFrames  int
+	CountFrames int
+	SkipFrames  int
+	Dropped     int
 }
 
 // FPS returns the simulated end-to-end throughput so far.
@@ -249,6 +266,9 @@ func (o *Odin) RegimeSignature(clusterID int) (cluster.Signature, bool) {
 type Plan struct {
 	res    Result
 	models []WeightedModel
+	// countOnly marks a count-pushdown plan: execute counts the single
+	// selected model's detections instead of materialising them.
+	countOnly bool
 }
 
 // Project computes the frame's DA-GAN latent — stage one of the pipeline.
@@ -269,7 +289,7 @@ func (o *Odin) Project(f *synth.Frame) []float64 {
 // evolution; the mutex serializes concurrent streams.
 func (o *Odin) Advance(f *synth.Frame, z []float64) Plan {
 	o.mu.Lock()
-	p := o.advanceLocked(f, z)
+	p := o.advanceLocked(f, z, qos.Full)
 	jobs := o.pendingJobs
 	o.pendingJobs = nil
 	o.mu.Unlock()
@@ -300,14 +320,37 @@ func (o *Odin) submitJobs(jobs []TrainJob) {
 }
 
 // advanceLocked is Advance with o.mu held (ProcessBatch holds it across a
-// whole batch).
-func (o *Odin) advanceLocked(f *synth.Frame, z []float64) Plan {
+// whole batch). fid is the QoS treatment level: Skip short-circuits the
+// whole drift stage (no cluster observation, no drift bookkeeping — the
+// frame was shed except for its place in the result stream), Lite and
+// Count degrade the selection to its single cheapest model, Full is the
+// legacy behaviour.
+func (o *Odin) advanceLocked(f *synth.Frame, z []float64, fid qos.Fidelity) Plan {
 	o.stats.Frames++
+	switch fid {
+	case qos.Lite:
+		o.stats.LiteFrames++
+	case qos.Count:
+		o.stats.CountFrames++
+	case qos.Skip:
+		o.stats.SkipFrames++
+	default:
+		o.stats.FullFrames++
+	}
+
+	if fid == qos.Skip {
+		return Plan{res: Result{
+			ClusterID: -1,
+			Fidelity:  qos.Skip,
+			ModelGen:  o.Manager.Gen(),
+		}}
+	}
 
 	if !o.Cfg.DriftRecovery {
 		return Plan{
-			res:    Result{ClusterID: -1},
-			models: []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}},
+			res:       Result{ClusterID: -1, Fidelity: fid},
+			models:    []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}},
+			countOnly: fid == qos.Count,
 		}
 	}
 
@@ -350,9 +393,35 @@ func (o *Odin) advanceLocked(f *synth.Frame, z []float64) Plan {
 	if len(selection) == 0 {
 		selection = []WeightedModel{{Model: o.Manager.Baseline, Weight: 1}}
 	}
+	// Degraded fidelities collapse the selection to its single cheapest
+	// model: ensembles and specialized-over-lite preferences cost more
+	// than overload allows.
+	if fid == qos.Lite || fid == qos.Count {
+		selection = cheapestSingle(selection)
+	}
+	res.Fidelity = fid
 	res.ModelGen = o.Manager.Gen()
 	res.RecoveryPending = o.Manager.pendingFor(res.ClusterID)
-	return Plan{res: res, models: selection}
+	return Plan{res: res, models: selection, countOnly: fid == qos.Count}
+}
+
+// cheapestSingle reduces a selection to its single cheapest model —
+// highest simulated FPS, ties broken by selection order, so the choice is
+// deterministic for a given plan.
+func cheapestSingle(sel []WeightedModel) []WeightedModel {
+	best := -1
+	for i, wm := range sel {
+		if wm.Model == nil || wm.Model.Det == nil {
+			continue
+		}
+		if best < 0 || wm.Model.Cost.FPS > sel[best].Model.Cost.FPS {
+			best = i
+		}
+	}
+	if best < 0 {
+		return sel
+	}
+	return []WeightedModel{{Model: sel[best].Model, Weight: 1}}
 }
 
 // Execute runs the Plan's captured models on the frame and fuses their
@@ -387,6 +456,18 @@ func (o *Odin) Execute(f *synth.Frame, p Plan) Result {
 func (o *Odin) addSimTime(t float64) {
 	o.mu.Lock()
 	o.stats.SimTime += t
+	o.mu.Unlock()
+}
+
+// AddDropped records n frames shed by admission control before they
+// reached the pipeline, so Server.Stats() surfaces queue drops alongside
+// the processed-frame counters.
+func (o *Odin) AddDropped(n int) {
+	if n <= 0 {
+		return
+	}
+	o.mu.Lock()
+	o.stats.Dropped += n
 	o.mu.Unlock()
 }
 

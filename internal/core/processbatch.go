@@ -3,6 +3,7 @@ package core
 import (
 	"odin/internal/detect"
 	"odin/internal/gan"
+	"odin/internal/qos"
 	"odin/internal/synth"
 	"odin/internal/tensor"
 )
@@ -32,6 +33,20 @@ import (
 // detect stages sharded across at most workers concurrent executors.
 // Results are identical to calling Process on each frame in order.
 func (o *Odin) ProcessBatch(frames []*synth.Frame, workers int) []Result {
+	return o.ProcessBatchFid(frames, workers, nil)
+}
+
+// ProcessBatchFid is ProcessBatch with a per-frame fidelity assignment
+// from the QoS layer. A nil fids slice is the legacy full-fidelity path,
+// bit-identical to ProcessBatch before fidelity existed. Otherwise
+// fids[i] governs frames[i]: Skip frames bypass projection, drift
+// bookkeeping and detection entirely (their Result carries only the
+// fidelity stamp and model generation); Count frames run the
+// count-pushdown execute (Result.Count, no Detections); Lite and Full
+// frames run detection, Lite on the plan's single cheapest model. The
+// result slice always has one entry per input frame, in order — the QoS
+// layer's zero-silent-loss contract.
+func (o *Odin) ProcessBatchFid(frames []*synth.Frame, workers int, fids []qos.Fidelity) []Result {
 	n := len(frames)
 	if n == 0 {
 		return nil
@@ -42,12 +57,26 @@ func (o *Odin) ProcessBatch(frames []*synth.Frame, workers int) []Result {
 
 	// Stages 1+2 — project (parallel, pure), then advance (serialized, in
 	// frame order, one lock acquisition for the whole window).
-	plans := o.advanceAll(frames, workers)
+	plans := o.advanceAllFid(frames, workers, fids)
 
 	// Stage 3 — execute (parallel, pure): group single-model frames by
-	// model for batched detection, shard the ensemble frames.
+	// model for batched detection, shard the ensemble frames. Count-only
+	// plans take the counting kernel instead.
 	results := make([]Result, n)
-	o.executeBatched(frames, plans, results, workers)
+	if fids == nil {
+		o.executeBatched(frames, plans, results, workers, nil)
+	} else {
+		var detIdx, cntIdx []int
+		for i := range plans {
+			if plans[i].countOnly {
+				cntIdx = append(cntIdx, i)
+			} else {
+				detIdx = append(detIdx, i)
+			}
+		}
+		o.executeBatched(frames, plans, results, workers, detIdx)
+		o.executeCount(frames, plans, results, workers, cntIdx)
+	}
 
 	// Simulated time accumulates in frame order so the sharded and
 	// sequential paths report bit-identical stats.
@@ -67,11 +96,22 @@ func (o *Odin) ProcessBatch(frames []*synth.Frame, workers int) []Result {
 // cluster evolution, drift events, stats and training jobs identically to
 // the full path.
 func (o *Odin) advanceAll(frames []*synth.Frame, workers int) []Plan {
-	latents := o.projectAll(frames, workers)
+	return o.advanceAllFid(frames, workers, nil)
+}
+
+// advanceAllFid is advanceAll with a per-frame fidelity assignment (nil =
+// all full). Skip frames are excluded from projection and short-circuit
+// inside advanceLocked, so a shed frame costs only its result slot.
+func (o *Odin) advanceAllFid(frames []*synth.Frame, workers int, fids []qos.Fidelity) []Plan {
+	latents := o.projectAllFid(frames, workers, fids)
 	plans := make([]Plan, len(frames))
 	o.mu.Lock()
 	for i, f := range frames {
-		plans[i] = o.advanceLocked(f, latents[i])
+		fid := qos.Full
+		if fids != nil {
+			fid = fids[i]
+		}
+		plans[i] = o.advanceLocked(f, latents[i], fid)
 	}
 	jobs := o.pendingJobs
 	o.pendingJobs = nil
@@ -83,15 +123,26 @@ func (o *Odin) advanceAll(frames []*synth.Frame, workers int) []Plan {
 // groupSingleModel partitions a window's plans for the execute stage:
 // frames whose plan selected exactly one detecting model, grouped by that
 // model (batched detection), and the rest (ensembles, model-less frames)
-// for per-frame execution.
-func groupSingleModel(plans []Plan) (groups map[*Model][]int, rest []int) {
+// for per-frame execution. A non-nil idx restricts the partition to that
+// subset of plan indices (the fidelity-split execute paths).
+func groupSingleModel(plans []Plan, idx []int) (groups map[*Model][]int, rest []int) {
 	groups = make(map[*Model][]int)
-	for i, p := range plans {
+	add := func(i int) {
+		p := plans[i]
 		if len(p.models) == 1 && p.models[0].Model != nil && p.models[0].Model.Det != nil {
 			m := p.models[0].Model
 			groups[m] = append(groups[m], i)
 		} else {
 			rest = append(rest, i)
+		}
+	}
+	if idx == nil {
+		for i := range plans {
+			add(i)
+		}
+	} else {
+		for _, i := range idx {
+			add(i)
 		}
 	}
 	return groups, rest
@@ -125,11 +176,57 @@ func (o *Odin) projectAll(frames []*synth.Frame, workers int) [][]float64 {
 	return latents
 }
 
+// projectAllFid is projectAll minus the Skip frames: shed frames never
+// reach the projector. Excluding rows from the batched projection is safe
+// for bit-identity of the remaining frames because the matmul kernels
+// accumulate each output element in a fixed order regardless of batch
+// width. nil fids delegates to the untouched legacy path.
+func (o *Odin) projectAllFid(frames []*synth.Frame, workers int, fids []qos.Fidelity) [][]float64 {
+	if fids == nil {
+		return o.projectAll(frames, workers)
+	}
+	n := len(frames)
+	latents := make([][]float64, n)
+	if !o.Cfg.DriftRecovery {
+		return latents
+	}
+	idx := make([]int, 0, n)
+	for i := range frames {
+		if fids[i] != qos.Skip {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == 0 {
+		return latents
+	}
+	bp, batched := o.Detector.Proj.(gan.BatchProjector)
+	if batched && len(idx) > 1 {
+		rows := make([][]float64, len(idx))
+		tensor.ParallelWorkers(len(idx), workers, func(k0, k1 int) {
+			for k := k0; k < k1; k++ {
+				rows[k] = o.Detector.Encode(frames[idx[k]].Image)
+			}
+		})
+		out := bp.ProjectBatch(rows)
+		for k, i := range idx {
+			latents[i] = out[k]
+		}
+		return latents
+	}
+	tensor.ParallelWorkers(len(idx), workers, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			latents[idx[k]] = o.Detector.Project(frames[idx[k]].Image)
+		}
+	})
+	return latents
+}
+
 // executeBatched fills results[i] = Execute(frames[i], plans[i]), batching
 // frames that selected the same single model through DetectBatch and
-// sharding the rest.
-func (o *Odin) executeBatched(frames []*synth.Frame, plans []Plan, results []Result, workers int) {
-	groups, rest := groupSingleModel(plans)
+// sharding the rest. A non-nil idx restricts execution to that subset
+// (nil = every plan).
+func (o *Odin) executeBatched(frames []*synth.Frame, plans []Plan, results []Result, workers int, idx []int) {
+	groups, rest := groupSingleModel(plans, idx)
 
 	for m, idx := range groups {
 		if len(idx) == 1 {
@@ -156,6 +253,43 @@ func (o *Odin) executeBatched(frames []*synth.Frame, plans []Plan, results []Res
 		for k := k0; k < k1; k++ {
 			i := rest[k]
 			results[i] = o.Execute(frames[i], plans[i])
+		}
+	})
+}
+
+// executeCount fills results[i] for the count-pushdown plans in idx: the
+// plan's single model runs its allocation-free counting kernel (class -1,
+// minScore 0, so Count equals the length of the detections the same model
+// would have materialised), ensemble or model-less stragglers fall back
+// to a full execute whose output is counted and discarded.
+func (o *Odin) executeCount(frames []*synth.Frame, plans []Plan, results []Result, workers int, idx []int) {
+	if len(idx) == 0 {
+		return
+	}
+	groups, rest := groupSingleModel(plans, idx)
+	for m, gi := range groups {
+		imgs := make([]*synth.Image, len(gi))
+		for k, i := range gi {
+			imgs[k] = frames[i].Image
+		}
+		cs := m.Det.CountBatch(imgs, -1, 0)
+		for k, i := range gi {
+			res := plans[i].res
+			res.Count = cs[k]
+			res.ModelsUsed = append(res.ModelsUsed, m.Name())
+			if m.Cost.FPS > 0 {
+				res.SimLatency += 1 / m.Cost.FPS
+			}
+			results[i] = res
+		}
+	}
+	tensor.ParallelWorkers(len(rest), workers, func(k0, k1 int) {
+		for k := k0; k < k1; k++ {
+			i := rest[k]
+			res := o.Execute(frames[i], plans[i])
+			res.Count = countKept(res.Detections, -1, 0)
+			res.Detections = nil
+			results[i] = res
 		}
 	})
 }

@@ -13,12 +13,22 @@ import (
 	"time"
 
 	"odin/internal/core"
+	"odin/internal/qos"
 	"odin/internal/synth"
 )
 
 // Pipeline is the slice of the core pipeline the batcher needs.
 type Pipeline interface {
 	ProcessBatch(frames []*synth.Frame, workers int) []core.Result
+}
+
+// FidPipeline is the optional fidelity-aware extension: pipelines that
+// implement it (core.Odin does) receive the per-frame QoS fidelity
+// assignments submitted with SubmitFid. A plain Pipeline silently treats
+// every frame as full fidelity.
+type FidPipeline interface {
+	Pipeline
+	ProcessBatchFid(frames []*synth.Frame, workers int, fids []qos.Fidelity) []core.Result
 }
 
 // Config tunes the batcher's flush policy.
@@ -52,7 +62,9 @@ func (c Config) withDefaults() Config {
 // window is one session's submitted frame window awaiting a flush.
 type window struct {
 	sessID uint64
+	weight int
 	frames []*synth.Frame
+	fids   []qos.Fidelity     // nil = full fidelity
 	res    chan []core.Result // buffered 1: flushes never block on a consumer
 }
 
@@ -66,24 +78,41 @@ type Stats struct {
 	Frames int
 	// MaxMerge is the largest number of windows merged into one batch.
 	MaxMerge int
+	// PartialFlushes counts flushes that hit the weighted-round-robin
+	// frame budget and left windows in the assembler — each one is a
+	// flush where take-all would have let one session's backlog inflate
+	// another camera's latency.
+	PartialFlushes int
+	// QueuedWindows and QueuedFrames snapshot the assembler backlog at
+	// the moment Stats was called.
+	QueuedWindows int
+	QueuedFrames  int
 }
 
 // Batcher assembles cross-stream batches: sessions submit in-order frame
-// windows, and the batcher flushes the assembler into one merged
+// windows, and the batcher flushes the assembler into a merged
 // ProcessBatch call when (a) the pending frames reach MaxBatch, (b) every
 // joined session has a window waiting — the fleet is ready, merging more
 // would stall someone — or (c) the oldest pending window has lingered
-// MaxLinger.
+// MaxLinger. A flush selects windows by weighted round-robin under a
+// MaxBatch frame budget (takeWeightedLocked) instead of taking the whole
+// assembler, so one camera's backlog cannot inflate every other camera's
+// latency; windows left behind are drained by the processing loop or
+// their re-armed linger timer.
 //
 // Determinism: within a merged batch, windows are ordered by session join
 // order, so when sessions proceed in lock-step (every session submits a
 // window before any receives results — the shape Stream.Run produces when
 // all cameras are live), the serialized drift stage observes frames in
 // round-robin session order, reproducing the per-stream interleaving
-// exactly. See DESIGN.md §7 for the full contract.
+// exactly; and when the pending windows fit the budget the weighted
+// selection IS take-all, so at/under capacity the merge is unchanged.
+// See DESIGN.md §7 and §11 for the full contract.
 type Batcher struct {
-	pipe Pipeline
-	cfg  Config
+	pipe    Pipeline
+	fidPipe FidPipeline // non-nil when pipe understands fidelities
+
+	cfg Config
 
 	mu            sync.Mutex
 	nextID        uint64
@@ -91,13 +120,17 @@ type Batcher struct {
 	pending       []*window
 	pendingFrames int
 	timerGen      uint64 // invalidates linger timers armed for a flushed assembler
+	lingerArmed   bool   // a live timer exists for the current timerGen
+	rrNext        uint64 // session id the weighted round-robin resumes at
 	stats         Stats
 }
 
 // NewBatcher creates a batcher over the pipeline.
 func NewBatcher(pipe Pipeline, cfg Config) *Batcher {
+	fp, _ := pipe.(FidPipeline)
 	return &Batcher{
 		pipe:     pipe,
+		fidPipe:  fp,
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[uint64]bool),
 	}
@@ -107,28 +140,45 @@ func NewBatcher(pipe Pipeline, cfg Config) *Batcher {
 func (b *Batcher) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return b.stats
+	st := b.stats
+	st.QueuedWindows = len(b.pending)
+	st.QueuedFrames = b.pendingFrames
+	return st
 }
 
 // Session is one stream's handle on the batcher. Sessions are not safe for
 // concurrent use: a session carries at most one outstanding Submit at a
 // time (the natural shape of a Stream.Run loop).
 type Session struct {
-	b    *Batcher
-	id   uint64
-	left bool
+	b      *Batcher
+	id     uint64
+	weight int
+	left   bool
 }
 
-// Join registers a new session. A joined session counts toward the
-// fleet-ready flush condition, so an idle joined session delays merged
-// flushes by up to MaxLinger; Leave when the session's window source ends.
+// Join registers a new session with weight 1. A joined session counts
+// toward the fleet-ready flush condition, so an idle joined session delays
+// merged flushes by up to MaxLinger; Leave when the session's window
+// source ends.
 func (b *Batcher) Join() *Session {
+	return b.JoinWeighted(1)
+}
+
+// JoinWeighted registers a session with a flush weight: when a flush hits
+// the frame budget, a session's windows are charged budget at 1/weight, so
+// a weight-2 camera fits twice the frames of a weight-1 camera into one
+// merged batch before the round-robin cuts it off. Weights below 1 clamp
+// to 1.
+func (b *Batcher) JoinWeighted(weight int) *Session {
+	if weight < 1 {
+		weight = 1
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.nextID++
 	id := b.nextID
 	b.sessions[id] = true
-	return &Session{b: b, id: id}
+	return &Session{b: b, id: id, weight: weight}
 }
 
 // Leave unregisters the session. The remaining sessions may now be
@@ -154,6 +204,14 @@ func (s *Session) Leave() {
 // processed — while a window already merged into an in-flight batch is
 // processed but its results discarded; either way Submit returns ctx.Err().
 func (s *Session) Submit(ctx context.Context, frames []*synth.Frame) ([]core.Result, error) {
+	return s.SubmitFid(ctx, frames, nil)
+}
+
+// SubmitFid is Submit with a per-frame fidelity assignment from the QoS
+// layer (fids[i] governs frames[i]; nil means full fidelity). Fidelities
+// ride along into the merged batch; a pipeline that does not implement
+// FidPipeline processes every frame at full fidelity.
+func (s *Session) SubmitFid(ctx context.Context, frames []*synth.Frame, fids []qos.Fidelity) ([]core.Result, error) {
 	if len(frames) == 0 {
 		return nil, nil
 	}
@@ -161,7 +219,7 @@ func (s *Session) Submit(ctx context.Context, frames []*synth.Frame) ([]core.Res
 		return nil, err
 	}
 	b := s.b
-	w := &window{sessID: s.id, frames: frames, res: make(chan []core.Result, 1)}
+	w := &window{sessID: s.id, weight: s.weight, frames: frames, fids: fids, res: make(chan []core.Result, 1)}
 	b.mu.Lock()
 	b.pending = append(b.pending, w)
 	b.pendingFrames += len(frames)
@@ -187,8 +245,10 @@ func (s *Session) Submit(ctx context.Context, frames []*synth.Frame) ([]core.Res
 	}
 }
 
-// takeReadyLocked empties the assembler if a flush condition holds and
-// returns the windows to process (nil otherwise). Caller holds b.mu.
+// takeReadyLocked selects a flush if a flush condition holds — pending
+// frames at the MaxBatch budget, or every joined session has a window
+// waiting — and returns the windows to process (nil otherwise). Caller
+// holds b.mu.
 func (b *Batcher) takeReadyLocked() []*window {
 	if b.pendingFrames == 0 {
 		return nil
@@ -196,7 +256,7 @@ func (b *Batcher) takeReadyLocked() []*window {
 	if b.pendingFrames < b.cfg.MaxBatch && !b.fleetReadyLocked() {
 		return nil
 	}
-	return b.takeAllLocked()
+	return b.takeWeightedLocked()
 }
 
 // fleetReadyLocked reports whether every joined session has a window in
@@ -217,30 +277,116 @@ func (b *Batcher) fleetReadyLocked() bool {
 	return true
 }
 
-// takeAllLocked empties the assembler and invalidates any armed linger
-// timer. Caller holds b.mu.
-func (b *Batcher) takeAllLocked() []*window {
-	ws := b.pending
-	b.pending = nil
-	b.pendingFrames = 0
+// takeWeightedLocked selects the next merged batch by weighted round-robin
+// over the sessions with pending windows, bounded by the MaxBatch frame
+// budget. Sessions are visited in id (join) order starting at the rrNext
+// cursor; each visit takes the session's oldest window, charged against
+// the budget at len(frames)/weight. When the budget runs out mid-rotation
+// the cursor parks on the session that was cut off, so it is served first
+// next flush — that rotation is what bounds a camera's wait to one budget
+// cycle instead of one take-all backlog. At least one window is always
+// taken (a single window larger than MaxBatch still flushes whole), and
+// when everything pending fits the budget the selection equals take-all —
+// which is why lock-step fleets see the exact pre-QoS merge. Leftover
+// windows stay pending with a fresh linger timer. Caller holds b.mu.
+func (b *Batcher) takeWeightedLocked() []*window {
+	type queue struct {
+		id     uint64
+		weight int
+		wins   []*window
+	}
+	byID := make(map[uint64]*queue)
+	var order []*queue
+	for _, w := range b.pending {
+		q := byID[w.sessID]
+		if q == nil {
+			q = &queue{id: w.sessID, weight: w.weight}
+			byID[w.sessID] = q
+			order = append(order, q)
+		}
+		q.wins = append(q.wins, w)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].id < order[j].id })
+	start := 0
+	for i, q := range order {
+		if q.id >= b.rrNext {
+			start = i
+			break
+		}
+	}
+
+	budget := b.cfg.MaxBatch
+	spent := 0
+	sel := make(map[*window]bool)
+	var selected []*window
+	cut := false
+	for !cut {
+		took := false
+		for k := 0; k < len(order); k++ {
+			q := order[(start+k)%len(order)]
+			if len(q.wins) == 0 {
+				continue
+			}
+			w := q.wins[0]
+			cost := (len(w.frames) + q.weight - 1) / q.weight
+			if spent+cost > budget && len(selected) > 0 {
+				b.rrNext = q.id
+				cut = true
+				break
+			}
+			q.wins = q.wins[1:]
+			sel[w] = true
+			selected = append(selected, w)
+			spent += cost
+			took = true
+		}
+		if !took {
+			break
+		}
+	}
+
+	remaining := b.pending[:0]
+	remFrames := 0
+	for _, w := range b.pending {
+		if !sel[w] {
+			remaining = append(remaining, w)
+			remFrames += len(w.frames)
+		}
+	}
+	for i := len(remaining); i < len(b.pending); i++ {
+		b.pending[i] = nil
+	}
+	b.pending = remaining
+	b.pendingFrames = remFrames
 	b.timerGen++
-	return ws
+	b.lingerArmed = false
+	if len(b.pending) > 0 {
+		b.stats.PartialFlushes++
+		b.armLingerLocked()
+	}
+	return selected
 }
 
-// armLingerLocked starts the no-starvation timer when the assembler goes
-// non-empty. Caller holds b.mu.
+// armLingerLocked starts the no-starvation timer for the current assembler
+// generation if none is live. Caller holds b.mu.
 func (b *Batcher) armLingerLocked() {
-	if len(b.pending) != 1 {
-		return // already armed for this assembler generation
+	if b.lingerArmed || len(b.pending) == 0 {
+		return
 	}
+	b.lingerArmed = true
 	gen := b.timerGen
 	time.AfterFunc(b.cfg.MaxLinger, func() {
 		b.mu.Lock()
-		if gen != b.timerGen || len(b.pending) == 0 {
+		if gen != b.timerGen {
 			b.mu.Unlock()
 			return
 		}
-		flush := b.takeAllLocked()
+		b.lingerArmed = false
+		if len(b.pending) == 0 {
+			b.mu.Unlock()
+			return
+		}
+		flush := b.takeWeightedLocked()
 		b.mu.Unlock()
 		b.process(flush)
 	})
@@ -260,23 +406,51 @@ func (b *Batcher) withdraw(w *window) {
 	}
 }
 
-// process runs one merged batch: windows ordered by session join order (a
-// stable, deterministic cross-stream merge), frames concatenated, one
-// ProcessBatch call, results split back per window.
+// process runs the selected batch, then keeps draining: a partial
+// (budget-cut) flush can leave the assembler over the flush threshold, and
+// nothing else is guaranteed to trigger promptly — blocked Submits wait on
+// these very results — so the processing goroutine re-checks until the
+// backlog is below budget again (leftovers under the threshold flush via
+// their linger timer).
 func (b *Batcher) process(ws []*window) {
-	if len(ws) == 0 {
-		return
+	for len(ws) > 0 {
+		b.runBatch(ws)
+		b.mu.Lock()
+		ws = b.takeReadyLocked()
+		b.mu.Unlock()
 	}
+}
+
+// runBatch runs one merged batch: windows ordered by session join order (a
+// stable, deterministic cross-stream merge), frames concatenated, one
+// ProcessBatch call, results split back per window. Windows carrying QoS
+// fidelities route through the fidelity-aware pipeline when available.
+func (b *Batcher) runBatch(ws []*window) {
 	sort.SliceStable(ws, func(i, j int) bool { return ws[i].sessID < ws[j].sessID })
 	total := 0
+	degraded := false
 	for _, w := range ws {
 		total += len(w.frames)
+		degraded = degraded || w.fids != nil
 	}
 	merged := make([]*synth.Frame, 0, total)
 	for _, w := range ws {
 		merged = append(merged, w.frames...)
 	}
-	results := b.pipe.ProcessBatch(merged, b.cfg.Workers)
+	var results []core.Result
+	if degraded && b.fidPipe != nil {
+		fids := make([]qos.Fidelity, 0, total)
+		for _, w := range ws {
+			if w.fids != nil {
+				fids = append(fids, w.fids...)
+			} else {
+				fids = append(fids, make([]qos.Fidelity, len(w.frames))...)
+			}
+		}
+		results = b.fidPipe.ProcessBatchFid(merged, b.cfg.Workers, fids)
+	} else {
+		results = b.pipe.ProcessBatch(merged, b.cfg.Workers)
+	}
 	off := 0
 	for _, w := range ws {
 		w.res <- results[off : off+len(w.frames) : off+len(w.frames)]

@@ -1,0 +1,293 @@
+package qos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"odin/internal/synth"
+)
+
+// DropPolicy selects what a full admission queue does with new frames.
+type DropPolicy uint8
+
+const (
+	// Block applies backpressure: Push waits until the queue has space
+	// (or the context/stream is done). No frame is ever dropped.
+	Block DropPolicy = iota
+	// DropNewest sheds the arriving frame when the queue is full. The
+	// drop is counted and a marker keeps the frame's place in the
+	// sequence so consumers see it was shed.
+	DropNewest
+	// DropOldest sheds the oldest queued frame to make room for the
+	// arriving one, preferring fresh data under overload.
+	DropOldest
+)
+
+// String returns the wire name of the policy.
+func (p DropPolicy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropNewest:
+		return "drop-newest"
+	case DropOldest:
+		return "drop-oldest"
+	default:
+		return fmt.Sprintf("droppolicy(%d)", uint8(p))
+	}
+}
+
+// ParseDropPolicy maps a wire name back to its policy.
+func ParseDropPolicy(s string) (DropPolicy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop-newest":
+		return DropNewest, nil
+	case "drop-oldest":
+		return DropOldest, nil
+	}
+	return Block, fmt.Errorf("qos: unknown drop policy %q (want block, drop-newest, or drop-oldest)", s)
+}
+
+// ErrClosed is returned by Push after Close, and by Pop once the queue is
+// both closed and drained.
+var ErrClosed = errors.New("qos: queue closed")
+
+// Entry is one slot handed out by Pop: either a real admitted frame
+// (Frame non-nil, DropN zero) or a coalesced drop marker covering the
+// DropN consecutive shed frames with sequence numbers [Seq, Seq+DropN).
+// Markers keep the admitted/dropped ledger exact — every pushed frame is
+// represented exactly once across the entries a queue ever emits — while
+// storage stays bounded by the queue capacity.
+type Entry struct {
+	Frame *synth.Frame
+	Seq   int
+	DropN int
+}
+
+// Queue is the bounded admission queue in front of a Stream.Run session.
+// One producer side (the intake goroutine plus Offer callers) pushes,
+// one consumer (the Run loop) pops batches. The queue assigns sequence
+// numbers at admission so drop markers and results share one ordering.
+type Queue struct {
+	mu       sync.Mutex
+	entries  []Entry
+	frames   int // real frames currently queued (≤ capacity)
+	capacity int
+	policy   DropPolicy
+	closed   bool
+	seq      int
+	dropped  uint64
+	rejected uint64
+
+	arrive chan struct{} // pulsed when entries are added or the queue closes
+	space  chan struct{} // pulsed when frames leave or the queue closes
+}
+
+// NewQueue returns an empty queue. Capacity must be ≥ 1.
+func NewQueue(capacity int, policy DropPolicy) *Queue {
+	if capacity < 1 {
+		panic("qos: queue capacity must be >= 1")
+	}
+	return &Queue{
+		capacity: capacity,
+		policy:   policy,
+		arrive:   make(chan struct{}, 1),
+		space:    make(chan struct{}, 1),
+	}
+}
+
+func notify(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// Push admits one frame under the queue's drop policy. Under Block it
+// waits for space, honoring ctx and done; under the drop policies it
+// returns immediately, shedding the arriving or the oldest frame when
+// full. The only errors are ErrClosed and the context's.
+func (q *Queue) Push(ctx context.Context, done <-chan struct{}, f *synth.Frame) error {
+	for {
+		q.mu.Lock()
+		if q.closed {
+			q.mu.Unlock()
+			return ErrClosed
+		}
+		if q.frames < q.capacity {
+			q.pushLocked(f)
+			q.mu.Unlock()
+			return nil
+		}
+		switch q.policy {
+		case DropNewest:
+			q.markDropLocked(q.nextSeqLocked())
+			q.mu.Unlock()
+			notify(q.arrive)
+			return nil
+		case DropOldest:
+			q.dropOldestLocked()
+			q.pushLocked(f)
+			q.mu.Unlock()
+			return nil
+		}
+		q.mu.Unlock()
+		select {
+		case <-q.space:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-done:
+			return ErrClosed
+		}
+	}
+}
+
+// TryPush admits the frame if the queue has space and reports whether it
+// did. A false return rejects the frame without assigning it a sequence
+// number; the rejection is counted but the caller keeps the frame.
+func (q *Queue) TryPush(f *synth.Frame) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || q.frames >= q.capacity {
+		q.rejected++
+		return false
+	}
+	q.pushLocked(f)
+	return true
+}
+
+// pushLocked appends a real frame entry and wakes the consumer. If space
+// remains it also cascades the space signal so other blocked pushers
+// re-check (one Pop can free room for several).
+func (q *Queue) pushLocked(f *synth.Frame) {
+	q.entries = append(q.entries, Entry{Frame: f, Seq: q.nextSeqLocked()})
+	q.frames++
+	if q.frames < q.capacity {
+		notify(q.space)
+	}
+	notify(q.arrive)
+}
+
+func (q *Queue) nextSeqLocked() int {
+	s := q.seq
+	q.seq++
+	return s
+}
+
+// markDropLocked records the shedding of the frame with sequence seq,
+// coalescing into the tail marker when the drops are consecutive.
+func (q *Queue) markDropLocked(seq int) {
+	q.dropped++
+	if n := len(q.entries); n > 0 && q.entries[n-1].DropN > 0 &&
+		q.entries[n-1].Seq+q.entries[n-1].DropN == seq {
+		q.entries[n-1].DropN++
+		return
+	}
+	q.entries = append(q.entries, Entry{Seq: seq, DropN: 1})
+}
+
+// dropOldestLocked sheds the oldest queued real frame, converting its
+// entry into a drop marker and merging with adjacent markers. The queue
+// always holds a contiguous sequence range with each number represented
+// exactly once, so adjacent markers are always mergeable.
+func (q *Queue) dropOldestLocked() {
+	i := 0
+	for i < len(q.entries) && q.entries[i].DropN > 0 {
+		i++
+	}
+	if i == len(q.entries) {
+		return // no real frame queued; nothing to shed
+	}
+	q.entries[i] = Entry{Seq: q.entries[i].Seq, DropN: 1}
+	q.frames--
+	q.dropped++
+	if i > 0 && q.entries[i-1].DropN > 0 {
+		q.entries[i-1].DropN += q.entries[i].DropN
+		q.entries = append(q.entries[:i], q.entries[i+1:]...)
+		i--
+	}
+	if i+1 < len(q.entries) && q.entries[i+1].DropN > 0 {
+		q.entries[i].DropN += q.entries[i+1].DropN
+		q.entries = append(q.entries[:i+1], q.entries[i+2:]...)
+	}
+}
+
+// Close marks the end of input: further pushes fail with ErrClosed and
+// Pop drains the remaining entries before reporting ErrClosed itself.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	notify(q.arrive)
+	notify(q.space)
+}
+
+// Pop blocks until at least one entry is queued (or the queue is closed
+// and drained, returning ErrClosed) and removes up to maxFrames real
+// frames from the head, along with every drop marker encountered.
+// Entries come out in admission order.
+func (q *Queue) Pop(ctx context.Context, done <-chan struct{}, maxFrames int) ([]Entry, error) {
+	if maxFrames < 1 {
+		maxFrames = 1
+	}
+	for {
+		q.mu.Lock()
+		if len(q.entries) > 0 {
+			taken, real := 0, 0
+			for taken < len(q.entries) {
+				if q.entries[taken].DropN == 0 {
+					if real == maxFrames {
+						break
+					}
+					real++
+				}
+				taken++
+			}
+			out := q.entries[:taken:taken]
+			q.entries = q.entries[taken:]
+			q.frames -= real
+			q.mu.Unlock()
+			if real > 0 {
+				notify(q.space)
+			}
+			return out, nil
+		}
+		closed := q.closed
+		q.mu.Unlock()
+		if closed {
+			return nil, ErrClosed
+		}
+		select {
+		case <-q.arrive:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-done:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Depth returns the number of queued real frames and the capacity.
+func (q *Queue) Depth() (frames, capacity int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.frames, q.capacity
+}
+
+// Dropped returns how many frames the drop policies have shed.
+func (q *Queue) Dropped() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.dropped
+}
+
+// Rejected returns how many TryPush admissions were refused.
+func (q *Queue) Rejected() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.rejected
+}

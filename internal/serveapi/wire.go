@@ -45,16 +45,21 @@ type Detection struct {
 // Result is the outcome of processing one frame through a stream session.
 // Fingerprint is computed server-side (Result.Fingerprint of the facade),
 // so clients can compare replica results bit-for-bit without re-deriving
-// the reduction.
+// the reduction. A Dropped result is an admission-queue shed marker: it
+// keeps the frame's sequence slot but carries no fingerprint, detections
+// or count.
 type Result struct {
 	Seq             int         `json:"seq"`
-	Fingerprint     string      `json:"fingerprint"`
+	Fingerprint     string      `json:"fingerprint,omitempty"`
 	ClusterID       int         `json:"cluster_id"`
 	ModelsUsed      []string    `json:"models_used,omitempty"`
 	ModelGen        uint64      `json:"model_gen"`
 	RecoveryPending bool        `json:"recovery_pending,omitempty"`
 	Drift           bool        `json:"drift,omitempty"`
 	SimLatency      float64     `json:"sim_latency"`
+	Fidelity        string      `json:"fidelity,omitempty"`
+	Count           int         `json:"count,omitempty"`
+	Dropped         bool        `json:"dropped,omitempty"`
 	Detections      []Detection `json:"detections,omitempty"`
 }
 
@@ -76,6 +81,7 @@ type WindowEvent struct {
 	GenLo           uint64 `json:"gen_lo"`
 	GenHi           uint64 `json:"gen_hi"`
 	RecoveryPending int    `json:"recovery_pending"`
+	Degraded        int    `json:"degraded,omitempty"`
 	Count           int    `json:"count"`
 	PerFrame        []int  `json:"per_frame,omitempty"`
 	Err             string `json:"err,omitempty"`
@@ -138,6 +144,9 @@ type (
 		Name     string `json:"name"`
 		Workers  int    `json:"workers,omitempty"`
 		MaxBatch int    `json:"max_batch,omitempty"`
+		// Weight is the session's share of the dispatcher's flush budget
+		// (see odin.StreamOptions.Weight). 0 means an equal share.
+		Weight int `json:"weight,omitempty"`
 	}
 	// CreateStreamResponse returns the session handle.
 	CreateStreamResponse struct {
@@ -147,9 +156,12 @@ type (
 	FramesRequest struct {
 		Frames []Frame `json:"frames"`
 	}
-	// FramesResponse returns the batch's results in frame order.
+	// FramesResponse returns the batch's results in frame order. Dropped
+	// counts the batch's admission-queue shed markers (each also appears
+	// in Results with its Dropped flag set — the ledger stays exact).
 	FramesResponse struct {
 		Results []Result `json:"results"`
+		Dropped int      `json:"dropped,omitempty"`
 	}
 	// QueryRequest executes a one-shot SQL query over frames.
 	QueryRequest struct {
@@ -194,8 +206,28 @@ type (
 		PendingRecoveries int     `json:"pending_recoveries"`
 		MemoryMB          float64 `json:"memory_mb"`
 
+		// QoS accounting: per-fidelity frame counters and the
+		// admission-drop total across every stream of the server.
+		FullFrames  int `json:"full_frames"`
+		LiteFrames  int `json:"lite_frames,omitempty"`
+		CountFrames int `json:"count_frames,omitempty"`
+		SkipFrames  int `json:"skip_frames,omitempty"`
+		Dropped     int `json:"dropped,omitempty"`
+
 		Trainer  *TrainerStats  `json:"trainer,omitempty"`
 		Registry *RegistryStats `json:"registry,omitempty"`
+		Dispatch *DispatchStats `json:"dispatch,omitempty"`
+	}
+	// DispatchStats mirrors odin.DispatchStats on the wire: merged-batch
+	// counters plus the weighted-flush queue depth.
+	DispatchStats struct {
+		Batches        int `json:"batches"`
+		Windows        int `json:"windows"`
+		Frames         int `json:"frames"`
+		MaxMerge       int `json:"max_merge"`
+		PartialFlushes int `json:"partial_flushes"`
+		QueuedWindows  int `json:"queued_windows"`
+		QueuedFrames   int `json:"queued_frames"`
 	}
 	// TrainerStats mirrors odin.TrainerStats on the wire.
 	TrainerStats struct {

@@ -35,6 +35,7 @@ import (
 
 	"odin/internal/core"
 	"odin/internal/detect"
+	"odin/internal/qos"
 	"odin/internal/query"
 	"odin/internal/synth"
 )
@@ -58,7 +59,36 @@ type (
 	Domain = synth.Domain
 	// QueryResult is the output of an aggregation query.
 	QueryResult = query.Result
+	// Fidelity is the per-frame treatment level of the QoS layer; every
+	// Result carries the fidelity that served it (FidelityFull unless the
+	// adaptive controller degraded the stream).
+	Fidelity = qos.Fidelity
+	// DropPolicy selects what a full admission queue (WithMaxQueue) does
+	// with new frames.
+	DropPolicy = qos.DropPolicy
 )
+
+// Fidelity ladder, re-exported (see WithAdaptiveFidelity). Ordered from
+// most to least work per frame.
+const (
+	FidelityFull  = qos.Full
+	FidelityLite  = qos.Lite
+	FidelityCount = qos.Count
+	FidelitySkip  = qos.Skip
+)
+
+// Admission-queue drop policies, re-exported (see WithDropPolicy).
+const (
+	DropBlock  = qos.Block
+	DropNewest = qos.DropNewest
+	DropOldest = qos.DropOldest
+)
+
+// ParseDropPolicy maps a CLI string ("block", "drop-newest",
+// "drop-oldest") to a DropPolicy.
+func ParseDropPolicy(s string) (DropPolicy, error) {
+	return qos.ParseDropPolicy(s)
+}
 
 // Evaluation subsets, re-exported.
 const (

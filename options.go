@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"odin/internal/qos"
 	"odin/internal/query"
 	"odin/internal/tensor"
 )
@@ -60,6 +61,11 @@ type config struct {
 	labelDelay       int // 0: keep the specializer default
 	backend          Backend
 	fleet            *FleetRecovery
+
+	maxQueue      int // 0: no admission queue (unbounded legacy intake)
+	dropPolicy    qos.DropPolicy
+	dropPolicySet bool
+	adaptive      *AdaptiveFidelity
 }
 
 func defaultConfig() config {
@@ -328,6 +334,113 @@ func WithWorkers(n int) Option {
 			n = runtime.GOMAXPROCS(0)
 		}
 		c.workers = n
+		return nil
+	}
+}
+
+// WithMaxQueue bounds each Run session's admission queue to n frames:
+// instead of buffering input without limit, a session admits at most n
+// frames ahead of processing and applies the configured drop policy
+// (WithDropPolicy, default DropBlock backpressure) when full. The queue is
+// also what Stream.Offer admits into and what the adaptive fidelity
+// controller observes. 0 (the default) keeps the legacy unbounded intake.
+func WithMaxQueue(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("odin: max queue must be non-negative, got %d", n)
+		}
+		c.maxQueue = n
+		return nil
+	}
+}
+
+// WithDropPolicy selects what a full admission queue does with new frames:
+// DropBlock (the default) applies backpressure to the producer, DropNewest
+// sheds the arriving frame, DropOldest sheds the stalest queued frame.
+// Shed frames are never silently lost: each yields a StreamResult with
+// Dropped set, in sequence order, and is counted in Stats().Dropped.
+// Requires WithMaxQueue.
+func WithDropPolicy(p DropPolicy) Option {
+	return func(c *config) error {
+		switch p {
+		case DropBlock, DropNewest, DropOldest:
+		default:
+			return fmt.Errorf("odin: unknown drop policy %d", uint8(p))
+		}
+		c.dropPolicy = p
+		c.dropPolicySet = true
+		return nil
+	}
+}
+
+// AdaptiveFidelity configures the load-adaptive degradation controller
+// (WithAdaptiveFidelity). Zero values take the documented defaults, so an
+// empty struct is a working configuration.
+type AdaptiveFidelity struct {
+	// HighWater is the admission-queue occupancy in (0,1] at or above
+	// which an observation counts toward degrading one level. Default
+	// 0.75. Must exceed LowWater.
+	HighWater float64
+	// LowWater is the occupancy at or below which an observation counts
+	// toward restoring one level. Default 0.25.
+	LowWater float64
+	// Patience is how many consecutive observations past a watermark are
+	// required before the level steps once — the hysteresis that keeps a
+	// single burst from flapping the ladder. Default 2.
+	Patience int
+	// MaxLevel caps how deep the ladder degrades: 1 = lite model only,
+	// 2 = count pushdown, 3 = count with frame subsampling. Default 3.
+	MaxLevel int
+	// SubsampleEvery is the level-3 sampling stride: one frame in every
+	// SubsampleEvery is counted, the rest are skipped outright (still
+	// yielding stamped results). Default 4.
+	SubsampleEvery int
+	// Script replays a recorded degradation schedule instead of running
+	// the live controller: entry w is the level applied to the logical
+	// window of frames [w*MaxBatch, (w+1)*MaxBatch); sessions past the end
+	// hold the final entry. Because the level depends only on a frame's
+	// sequence number, a scripted session is bit-for-bit reproducible at
+	// any worker count — the determinism contract for degraded modes
+	// (DESIGN.md §11). Nil (the default) runs the live controller.
+	Script []int
+}
+
+// WithAdaptiveFidelity enables load-adaptive multi-fidelity degradation on
+// every Run session: a per-stream hysteresis controller observes admission
+// queue occupancy and walks the stream down a fidelity ladder (full →
+// cheapest single model → count pushdown → count with subsampling) under
+// sustained overload, restoring as load falls. Every result carries the
+// fidelity that served it. Implies WithMaxQueue(64) unless a queue bound
+// was set explicitly. At or under capacity the controller never leaves
+// full fidelity and results are bit-identical to a non-adaptive server.
+func WithAdaptiveFidelity(af AdaptiveFidelity) Option {
+	return func(c *config) error {
+		if af.HighWater < 0 || af.HighWater > 1 {
+			return fmt.Errorf("odin: adaptive high water must be in [0,1], got %v", af.HighWater)
+		}
+		if af.LowWater < 0 || af.LowWater > 1 {
+			return fmt.Errorf("odin: adaptive low water must be in [0,1], got %v", af.LowWater)
+		}
+		if af.HighWater > 0 && af.LowWater > 0 && af.HighWater <= af.LowWater {
+			return fmt.Errorf("odin: adaptive high water %v must exceed low water %v", af.HighWater, af.LowWater)
+		}
+		if af.Patience < 0 {
+			return fmt.Errorf("odin: adaptive patience must be non-negative, got %d", af.Patience)
+		}
+		if af.MaxLevel < 0 || af.MaxLevel > qos.MaxLevel {
+			return fmt.Errorf("odin: adaptive max level must be in [0,%d], got %d", qos.MaxLevel, af.MaxLevel)
+		}
+		if af.SubsampleEvery < 0 {
+			return fmt.Errorf("odin: adaptive subsample stride must be non-negative, got %d", af.SubsampleEvery)
+		}
+		for i, lv := range af.Script {
+			if lv < 0 || lv > qos.MaxLevel {
+				return fmt.Errorf("odin: adaptive script[%d] level %d out of range [0,%d]", i, lv, qos.MaxLevel)
+			}
+		}
+		cp := af
+		cp.Script = append([]int(nil), af.Script...)
+		c.adaptive = &cp
 		return nil
 	}
 }

@@ -30,6 +30,13 @@ var (
 	// ErrReservedModel is returned when registering a model under a
 	// built-in binding name ("odin", "yolo").
 	ErrReservedModel = errors.New("odin: model name reserved for a built-in binding")
+	// ErrOverloaded is returned by Stream.Offer when the admission queue
+	// is full: the frame was rejected, counted, and stays with the caller.
+	ErrOverloaded = errors.New("odin: stream overloaded (admission queue full)")
+	// ErrNoAdmission is returned by Stream.Offer when there is no
+	// admission queue to offer into — the server was built without
+	// WithMaxQueue, or the stream has no active Run session.
+	ErrNoAdmission = errors.New("odin: no admission queue (WithMaxQueue unset or no active Run session)")
 )
 
 // Server is a running ODIN service instance. It owns the bootstrapped
@@ -71,6 +78,14 @@ func New(opts ...Option) (*Server, error) {
 		if err := opt(&cfg); err != nil {
 			return nil, err
 		}
+	}
+	// Cross-option QoS validation: a drop policy is meaningless without a
+	// queue bound, and adaptive fidelity needs a queue to observe.
+	if cfg.dropPolicySet && cfg.maxQueue == 0 {
+		return nil, fmt.Errorf("odin: WithDropPolicy requires WithMaxQueue")
+	}
+	if cfg.adaptive != nil && cfg.maxQueue == 0 {
+		cfg.maxQueue = 64
 	}
 	scene := synth.DefaultSceneConfig()
 	engine := query.NewEngine()
@@ -326,12 +341,20 @@ func (s *Server) OpenStream(ctx context.Context, o StreamOptions) (*Stream, erro
 	if buffer <= 0 {
 		buffer = maxBatch
 	}
+	weight := o.Weight
+	if weight < 1 {
+		weight = 1
+	}
 	return &Stream{
 		srv:      s,
 		name:     o.Name,
 		workers:  workers,
 		maxBatch: maxBatch,
 		buffer:   buffer,
+		weight:   weight,
+		maxQueue: s.cfg.maxQueue,
+		dropPol:  s.cfg.dropPolicy,
+		adaptive: s.cfg.adaptive,
 		done:     make(chan struct{}),
 	}, nil
 }

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"sync"
 
+	"odin/internal/core"
 	"odin/internal/dispatch"
+	"odin/internal/qos"
 	"odin/internal/query"
 )
 
@@ -27,15 +29,29 @@ type StreamOptions struct {
 	MaxBatch int
 	// Buffer is the capacity of the channel Run returns. 0 picks MaxBatch.
 	Buffer int
+	// Weight is the stream's share of the fleet dispatcher's flush budget
+	// (WithDispatcher): a weight-w session's frames are charged at 1/w
+	// against the merged-batch budget, so it flushes proportionally more
+	// per round under contention. 0 or 1 is an equal share. Ignored
+	// without a dispatcher.
+	Weight int
 }
 
 // StreamResult is one frame's outcome on a Run channel. Results are
 // delivered in frame order regardless of how the stages were sharded.
 type StreamResult struct {
-	// Seq is the 0-based position of the frame within this Run.
+	// Seq is the 0-based position of the frame within this Run. With
+	// admission control (WithMaxQueue) dropped frames consume sequence
+	// numbers too, so Seq stays contiguous across the session.
 	Seq int
-	// Frame is the input frame (with its ground truth, if any).
+	// Frame is the input frame (with its ground truth, if any). Nil when
+	// Dropped is set — the queue shed the frame before processing.
 	Frame *Frame
+	// Dropped marks a frame shed by the admission queue's drop policy.
+	// The marker keeps the ledger exact — every admitted frame yields a
+	// result, every shed frame yields a marker, nothing vanishes — but
+	// carries no Frame and a zero Result.
+	Dropped bool
 	Result
 }
 
@@ -77,6 +93,12 @@ type WindowResult struct {
 	// recovery was still training (async mode; always 0 inline) — the
 	// per-window visibility of the interim previous-best policy.
 	RecoveryPending int
+	// Degraded counts the window's frames served below full fidelity by
+	// the adaptive controller (WithAdaptiveFidelity; always 0 otherwise).
+	// Frames shed by the admission queue never reach subscriptions, so a
+	// window under overload may also span a wider sequence range than its
+	// frame count suggests.
+	Degraded int
 	QueryResult
 }
 
@@ -93,11 +115,13 @@ type subscription struct {
 
 	win    int
 	start  int
+	last   int
 	frames []*Frame
 	dets   [][]Detection
 	genLo  uint64
 	genHi  uint64
 	pendN  int
+	degr   int
 	closed bool
 }
 
@@ -109,8 +133,9 @@ type subscription struct {
 // distinguish it from a normal end of session.
 func (sub *subscription) window() WindowResult {
 	wr := WindowResult{
-		Window: sub.win, StartSeq: sub.start, EndSeq: sub.start + len(sub.frames) - 1,
+		Window: sub.win, StartSeq: sub.start, EndSeq: sub.last,
 		GenLo: sub.genLo, GenHi: sub.genHi, RecoveryPending: sub.pendN,
+		Degraded: sub.degr,
 	}
 	if sub.shared {
 		wr.QueryResult = *sub.plan.ExecuteOver(sub.frames, sub.dets)
@@ -135,6 +160,12 @@ type Stream struct {
 	workers  int
 	maxBatch int
 	buffer   int
+	weight   int
+
+	// QoS configuration copied from the server at OpenStream.
+	maxQueue int // 0: legacy unbounded intake
+	dropPol  qos.DropPolicy
+	adaptive *AdaptiveFidelity
 
 	closeOnce sync.Once
 	done      chan struct{} // closed by Close; wakes blocked Run loops
@@ -142,6 +173,14 @@ type Stream struct {
 	subMu     sync.Mutex
 	subs      []*subscription
 	runActive bool // a Run session owns the subscriptions' lifecycle
+
+	// QoS session state. queue and ctrl belong to the active (or most
+	// recent) Run session; qosActive gates Offer admissions. ctrl is not
+	// itself concurrency-safe, so every access goes through qosMu.
+	qosMu     sync.Mutex
+	queue     *qos.Queue
+	ctrl      *qos.Controller
+	qosActive bool
 }
 
 // closedNow reports whether Close has been called.
@@ -260,9 +299,12 @@ func (st *Stream) dropSubLocked(sub *subscription) {
 
 // deliverSubs offers one processed window of the Run session to every
 // subscription, emitting completed aggregation windows along the way.
-// Returns false when the session must abort (run context cancelled or
-// stream closed while blocked on a subscriber).
-func (st *Stream) deliverSubs(ctx context.Context, batch []*Frame, results []Result, seqBase int) bool {
+// seqs[i] is batch[i]'s Run sequence number — contiguous on the legacy
+// path, possibly gapped under admission control (dropped frames consume
+// sequence numbers but never reach subscriptions). Returns false when the
+// session must abort (run context cancelled or stream closed while blocked
+// on a subscriber).
+func (st *Stream) deliverSubs(ctx context.Context, batch []*Frame, results []Result, seqs []int) bool {
 	subs := st.snapshotSubs()
 	if len(subs) == 0 {
 		return true
@@ -275,11 +317,13 @@ func (st *Stream) deliverSubs(ctx context.Context, batch []*Frame, results []Res
 	frames:
 		for i, f := range batch {
 			if len(sub.frames) == 0 {
-				sub.start = seqBase + i
+				sub.start = seqs[i]
 				sub.genLo, sub.genHi = results[i].ModelGen, results[i].ModelGen
 				sub.pendN = 0
+				sub.degr = 0
 			}
 			sub.frames = append(sub.frames, f)
+			sub.last = seqs[i]
 			if g := results[i].ModelGen; g < sub.genLo {
 				sub.genLo = g
 			} else if g > sub.genHi {
@@ -287,6 +331,9 @@ func (st *Stream) deliverSubs(ctx context.Context, batch []*Frame, results []Res
 			}
 			if results[i].RecoveryPending {
 				sub.pendN++
+			}
+			if results[i].Fidelity.Degraded() {
+				sub.degr++
 			}
 			if sub.shared {
 				sub.dets = append(sub.dets, results[i].Detections)
@@ -372,6 +419,17 @@ func (st *Stream) finishSubs(ctx context.Context, clean bool) {
 // shared ProcessBatch calls (ordered by session join order), and the
 // session leaves the fleet when the loop exits. Results are still
 // delivered in this stream's frame order.
+//
+// On a server built WithMaxQueue (or WithAdaptiveFidelity), the session
+// runs under admission control instead of the unbounded intake: an intake
+// goroutine admits frames from in into a bounded queue under the
+// configured drop policy, Stream.Offer admits into the same queue without
+// blocking, and frames the queue sheds yield StreamResults with Dropped
+// set, in sequence order. With adaptive fidelity the session additionally
+// degrades to cheaper plans under sustained overload (see
+// WithAdaptiveFidelity); every result carries the fidelity that served
+// it. At or under capacity nothing is dropped or degraded and results are
+// bit-identical to a server without QoS.
 func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult {
 	if ctx == nil {
 		ctx = context.Background()
@@ -398,7 +456,7 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 	submitCtx := ctx
 	var stopWatch context.CancelFunc
 	if bat := st.srv.dispatcher(); bat != nil {
-		sess = bat.Join()
+		sess = bat.JoinWeighted(st.weight)
 		// Submit must also wake on Stream.Close; fold st.done into the
 		// context it honours.
 		c, cancel := context.WithCancel(ctx)
@@ -410,6 +468,10 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 			case <-c.Done():
 			}
 		}()
+	}
+	if st.maxQueue > 0 {
+		st.runQoS(ctx, in, out, p, sess, submitCtx, stopWatch)
+		return out
 	}
 	go func() {
 		clean := false
@@ -424,6 +486,7 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 		}
 		seq := 0
 		batch := make([]*Frame, 0, st.maxBatch)
+		seqs := make([]int, 0, st.maxBatch)
 		for {
 			// Block for the window's first frame, then greedily take
 			// whatever has already arrived, up to MaxBatch.
@@ -465,7 +528,11 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 			}
 			// Standing queries observe the window before the per-frame
 			// results go out, reusing the same sharded detections.
-			if !st.deliverSubs(ctx, batch, results, seq) {
+			seqs = seqs[:0]
+			for i := range batch {
+				seqs = append(seqs, seq+i)
+			}
+			if !st.deliverSubs(ctx, batch, results, seqs) {
 				return
 			}
 			for i, r := range results {
@@ -481,6 +548,250 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 		}
 	}()
 	return out
+}
+
+// runQoS is the admission-controlled Run session (WithMaxQueue): an
+// intake goroutine drains in into the bounded queue, and the main loop
+// pops admitted batches, applies the fidelity controller (live hysteresis
+// or replay script), processes, and emits results — real and drop markers
+// interleaved — in admission order.
+func (st *Stream) runQoS(ctx context.Context, in <-chan *Frame, out chan StreamResult, p *core.Odin, sess *dispatch.Session, submitCtx context.Context, stopWatch context.CancelFunc) {
+	queue := qos.NewQueue(st.maxQueue, st.dropPol)
+	var ctrl *qos.Controller
+	var script []int
+	subsample := 0
+	if af := st.adaptive; af != nil {
+		subsample = af.SubsampleEvery
+		if subsample == 0 {
+			subsample = 4
+		}
+		if af.Script != nil {
+			script = af.Script
+		} else {
+			ctrl = qos.NewController(qos.ControllerConfig{
+				HighWater: af.HighWater, LowWater: af.LowWater,
+				Patience: af.Patience, MaxLevel: af.MaxLevel,
+			})
+		}
+	}
+	st.qosMu.Lock()
+	st.queue, st.ctrl = queue, ctrl
+	st.qosActive = true
+	st.qosMu.Unlock()
+
+	// Intake: admit frames from in under the drop policy. A blocked push
+	// (DropBlock backpressure) wakes on cancellation or stream close;
+	// when in closes, the queue closes, which the main loop observes as a
+	// clean end of input once the backlog drains.
+	go func() {
+		defer queue.Close()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-st.done:
+				return
+			case f, ok := <-in:
+				if !ok {
+					return
+				}
+				if queue.Push(ctx, st.done, f) != nil {
+					return
+				}
+			}
+		}
+	}()
+
+	go func() {
+		clean := false
+		// LIFO: out closes first, then subscriptions flush (see Run).
+		defer func() { st.finishSubs(ctx, clean) }()
+		defer close(out)
+		defer func() {
+			st.qosMu.Lock()
+			st.qosActive = false
+			st.qosMu.Unlock()
+		}()
+		if sess != nil {
+			defer stopWatch()
+			defer sess.Leave()
+		}
+		frames := make([]*Frame, 0, st.maxBatch)
+		fids := make([]qos.Fidelity, 0, st.maxBatch)
+		seqs := make([]int, 0, st.maxBatch)
+		for {
+			entries, err := queue.Pop(ctx, st.done, st.maxBatch)
+			if err != nil {
+				// ErrClosed with a live context and an open stream means
+				// the input closed and the backlog drained: a clean end
+				// that flushes partial subscription windows.
+				clean = err == qos.ErrClosed && ctx.Err() == nil && !st.closedNow()
+				return
+			}
+			// Degradation level for this batch: scripted sessions derive
+			// it per frame from the sequence number alone (bit-for-bit
+			// replayable at any worker count), live sessions observe the
+			// backlog the pop found — the depth left behind plus the
+			// batch just taken. (Depth after the pop alone is too noisy:
+			// with queue ≈ 4×MaxBatch it oscillates across the mid-band,
+			// which resets the patience counter and the controller never
+			// engages even when the queue is pinned full.)
+			level := 0
+			if ctrl != nil {
+				popped := 0
+				for _, e := range entries {
+					if e.DropN == 0 {
+						popped++
+					}
+				}
+				d, c := queue.Depth()
+				st.qosMu.Lock()
+				level = ctrl.Observe(float64(d+popped) / float64(c))
+				st.qosMu.Unlock()
+			}
+			frames, fids, seqs = frames[:0], fids[:0], seqs[:0]
+			degraded := false
+			for _, e := range entries {
+				if e.DropN > 0 {
+					continue
+				}
+				lv := level
+				if script != nil {
+					w := e.Seq / st.maxBatch
+					if w >= len(script) {
+						w = len(script) - 1
+					}
+					lv = script[w]
+				}
+				fid := qos.ForLevel(lv, e.Seq, subsample)
+				if fid.Degraded() {
+					degraded = true
+				}
+				frames = append(frames, e.Frame)
+				fids = append(fids, fid)
+				seqs = append(seqs, e.Seq)
+			}
+
+			var results []Result
+			if len(frames) > 0 {
+				batchFids := fids
+				if !degraded {
+					batchFids = nil // all-full fidelity IS the legacy path
+				}
+				if sess != nil {
+					rs, err := sess.SubmitFid(submitCtx, frames, batchFids)
+					if err != nil {
+						return // run context cancelled or stream closed
+					}
+					results = rs
+				} else {
+					results = p.ProcessBatchFid(frames, st.workers, batchFids)
+				}
+				if !st.deliverSubs(ctx, frames, results, seqs) {
+					return
+				}
+			}
+
+			// Emit in admission order: real results interleaved with one
+			// Dropped marker per shed frame, so every frame the session
+			// ever admitted or shed is accounted for on the out channel.
+			ri := 0
+			for _, e := range entries {
+				if e.DropN > 0 {
+					p.AddDropped(e.DropN)
+					for k := 0; k < e.DropN; k++ {
+						select {
+						case <-ctx.Done():
+							return
+						case <-st.done:
+							return
+						case out <- StreamResult{Seq: e.Seq + k, Dropped: true}:
+						}
+					}
+					continue
+				}
+				select {
+				case <-ctx.Done():
+					return
+				case <-st.done:
+					return
+				case out <- StreamResult{Seq: e.Seq, Frame: e.Frame, Result: results[ri]}:
+				}
+				ri++
+			}
+		}
+	}()
+}
+
+// Offer submits one frame to the stream's active Run session without
+// blocking — the explicit admission-control entry point. An admitted
+// frame takes the next sequence number and yields a result on the Run
+// channel in admission order, exactly as if it had arrived on the input
+// channel; when the queue is full the frame is rejected with
+// ErrOverloaded (counted in QoS().Rejected) and stays with the caller.
+// Requires a server built WithMaxQueue (or WithAdaptiveFidelity) and an
+// active Run session — ErrNoAdmission otherwise.
+func (st *Stream) Offer(f *Frame) error {
+	if st.closedNow() {
+		return ErrStreamClosed
+	}
+	st.qosMu.Lock()
+	q, active := st.queue, st.qosActive
+	st.qosMu.Unlock()
+	if q == nil || !active {
+		return ErrNoAdmission
+	}
+	if !q.TryPush(f) {
+		return ErrOverloaded
+	}
+	return nil
+}
+
+// StreamQoS is a snapshot of a stream's QoS state (Stream.QoS).
+type StreamQoS struct {
+	// Enabled reports whether the server runs admission control
+	// (WithMaxQueue or WithAdaptiveFidelity).
+	Enabled bool
+	// Level is the adaptive controller's current degradation level (0 =
+	// full fidelity). Always 0 for scripted or non-adaptive sessions.
+	Level int
+	// Transitions counts the adaptive controller's level changes, up and
+	// down.
+	Transitions int
+	// Dropped counts frames the admission queue's drop policy shed (each
+	// also yielded a Dropped StreamResult).
+	Dropped uint64
+	// Rejected counts Offer calls refused with ErrOverloaded.
+	Rejected uint64
+	// QueueFrames and QueueCap are the admission queue's current backlog
+	// and its bound.
+	QueueFrames int
+	QueueCap    int
+	// Decisions is the controller's level trace, one entry per drained
+	// batch, in order — the raw record of how the session walked the
+	// ladder.
+	Decisions []int
+}
+
+// QoS returns a snapshot of the stream's QoS state. Queue and controller
+// state belong to a Run session: before the first Run everything except
+// Enabled is zero, and after a session ends its final counters remain
+// readable.
+func (st *Stream) QoS() StreamQoS {
+	s := StreamQoS{Enabled: st.maxQueue > 0}
+	st.qosMu.Lock()
+	defer st.qosMu.Unlock()
+	if st.queue != nil {
+		s.Dropped = st.queue.Dropped()
+		s.Rejected = st.queue.Rejected()
+		s.QueueFrames, s.QueueCap = st.queue.Depth()
+	}
+	if st.ctrl != nil {
+		s.Level = st.ctrl.Level()
+		s.Transitions = st.ctrl.Transitions()
+		s.Decisions = st.ctrl.Decisions()
+	}
+	return s
 }
 
 // Close ends the session. In-flight work finishes; subsequent Process
