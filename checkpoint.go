@@ -8,6 +8,7 @@ import (
 	"odin/internal/checkpoint"
 	"odin/internal/detect"
 	"odin/internal/gan"
+	"odin/internal/obs"
 	"odin/internal/query"
 	"odin/internal/synth"
 )
@@ -86,7 +87,12 @@ func (s *Server) Checkpoint(w io.Writer) error {
 		st := reg.State()
 		payload.Registry = &st
 	}
-	return checkpoint.Write(w, s.cfg.backend.dtype(), payload)
+	if err := checkpoint.Write(w, s.cfg.backend.dtype(), payload); err != nil {
+		return err
+	}
+	s.obs.Event(obs.EvCheckpointSave, "", -1, int(pipeline.ModelGen()),
+		fmt.Sprintf("%d models", len(payload.Pipeline.Manager.Models)))
+	return nil
 }
 
 // Restore rebuilds a Server from a checkpoint written by Checkpoint and
@@ -141,6 +147,10 @@ func Restore(r io.Reader, opts ...Option) (*Server, error) {
 		gen:    synth.GenFromState(payload.Gen),
 		engine: engine,
 	}
+	if cfg.obs {
+		s.obs = obs.New(0)
+		s.registerServerMetrics()
+	}
 
 	dagan, err := gan.FromState(payload.DAGAN)
 	if err != nil {
@@ -164,5 +174,7 @@ func Restore(r io.Reader, opts ...Option) (*Server, error) {
 	s.registry = reg
 	s.booted = true
 	s.mu.Unlock()
+	s.obs.Event(obs.EvCheckpointRestore, "", -1, int(pipeline.ModelGen()),
+		fmt.Sprintf("%d models", len(payload.Pipeline.Manager.Models)))
 	return s, nil
 }

@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -14,6 +13,7 @@ import (
 
 	"odin"
 	"odin/internal/exp"
+	"odin/internal/obs"
 )
 
 // The dispatch benchmark measures the fleet subsystem on two axes, both on
@@ -174,21 +174,6 @@ func runFleet(srv *odin.Server, streams, perStream int) (float64, int, error) {
 	return float64(streams*perStream) / secs, srv.Stats().DriftEvents, nil
 }
 
-// percentile returns the p-quantile (0..1) of sorted ms samples.
-func percentile(sorted []float64, p float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
-}
-
 // measureStall bootstraps on night, then drives a fleet of concurrent
 // streams through a 4-phase drifting sequence (night → day → snow → rain),
 // timing every Stream.Process call. With inline training every drift event
@@ -318,8 +303,8 @@ func runDispatchBench(scale exp.Scale, outPath string, w io.Writer) error {
 		Frames:         len(inline),
 		InlineDrifts:   inDrifts,
 		AsyncDrifts:    asDrifts,
-		InlineP99Ms:    percentile(inline, 0.99),
-		AsyncP99Ms:     percentile(async, 0.99),
+		InlineP99Ms:    obs.Percentile(inline, 0.99),
+		AsyncP99Ms:     obs.Percentile(async, 0.99),
 		InlineMaxMs:    inline[len(inline)-1],
 		AsyncMaxMs:     async[len(async)-1],
 		PendingInterim: interim,

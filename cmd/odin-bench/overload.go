@@ -13,6 +13,7 @@ import (
 
 	"odin"
 	"odin/internal/exp"
+	"odin/internal/obs"
 )
 
 // The overload benchmark measures the QoS subsystem end to end: four
@@ -559,8 +560,8 @@ func runOverloadBench(scale exp.Scale, outPath string, w io.Writer) error {
 	for c := range off {
 		cam := overloadCam{
 			Cam: c, Share: camShares[c], Weight: camWeights[c], Offered: off[c].offered,
-			OffP99Ms:   percentile(off[c].latMs, 0.99),
-			OnP99Ms:    percentile(on[c].latMs, 0.99),
+			OffP99Ms:   obs.Percentile(off[c].latMs, 0.99),
+			OnP99Ms:    obs.Percentile(on[c].latMs, 0.99),
 			OnDegraded: on[c].degraded, Transitions: on[c].transitions,
 		}
 		if n := len(off[c].latMs); n > 0 {

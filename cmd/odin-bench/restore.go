@@ -8,10 +8,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"odin"
 	"odin/internal/exp"
+	"odin/internal/obs"
 )
 
 // The restore benchmark measures what a checkpoint buys on restart:
@@ -32,6 +34,8 @@ type restoreBenchResult struct {
 	CheckpointMillis float64 `json:"checkpoint_ms"`
 	ColdTTFDMillis   float64 `json:"cold_ttfd_ms"`
 	WarmTTFDMillis   float64 `json:"warm_ttfd_ms"`
+	ReplayP50Millis  float64 `json:"replay_p50_ms"`
+	ReplayP99Millis  float64 `json:"replay_p99_ms"`
 	Speedup          float64 `json:"speedup_warm_vs_cold"`
 	ReplayIdentical  bool    `json:"replay_identical"`
 	GatePassed       bool    `json:"gate_passed"`
@@ -120,16 +124,20 @@ func runRestoreBench(scale exp.Scale, outPath string, w io.Writer) error {
 	warmMillis := float64(time.Since(warmStart).Microseconds()) / 1e3
 
 	identical := first.Fingerprint() == wantTail[0]
+	replayMs := make([]float64, 0, len(tail)-1)
 	for i, f := range tail[1:] {
+		t0 := time.Now()
 		res, err := rst.Process(context.Background(), f)
 		if err != nil {
 			return err
 		}
+		replayMs = append(replayMs, float64(time.Since(t0))/float64(time.Millisecond))
 		if res.Fingerprint() != wantTail[i+1] {
 			identical = false
 		}
 	}
 	rst.Close()
+	sort.Float64s(replayMs)
 
 	// Cold start: a fresh server re-bootstraps from scratch before it can
 	// serve its first detection.
@@ -157,6 +165,8 @@ func runRestoreBench(scale exp.Scale, outPath string, w io.Writer) error {
 		CheckpointMillis: ckMillis,
 		ColdTTFDMillis:   coldMillis,
 		WarmTTFDMillis:   warmMillis,
+		ReplayP50Millis:  obs.Percentile(replayMs, 0.50),
+		ReplayP99Millis:  obs.Percentile(replayMs, 0.99),
 		Speedup:          coldMillis / warmMillis,
 		ReplayIdentical:  identical,
 	}
@@ -165,7 +175,8 @@ func runRestoreBench(scale exp.Scale, outPath string, w io.Writer) error {
 	fmt.Fprintf(w, "  checkpoint: %d bytes in %.1f ms\n", res.CheckpointBytes, res.CheckpointMillis)
 	fmt.Fprintf(w, "  cold start (bootstrap + first detection): %.1f ms\n", res.ColdTTFDMillis)
 	fmt.Fprintf(w, "  warm start (restore + first detection):   %.1f ms\n", res.WarmTTFDMillis)
-	fmt.Fprintf(w, "  speedup %.1fx, tail replay identical: %v\n", res.Speedup, res.ReplayIdentical)
+	fmt.Fprintf(w, "  speedup %.1fx, tail replay identical: %v (replay p50 %.2fms, p99 %.2fms)\n",
+		res.Speedup, res.ReplayIdentical, res.ReplayP50Millis, res.ReplayP99Millis)
 
 	doc, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {

@@ -7,10 +7,12 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"odin"
 	"odin/internal/exp"
+	"odin/internal/obs"
 )
 
 // The streaming-throughput benchmark measures the public Server/Stream API
@@ -28,6 +30,8 @@ type streamBenchResult struct {
 	Frames        int              `json:"frames"`
 	DriftEvents   int              `json:"drift_events"`
 	SequentialFPS float64          `json:"sequential_fps"`
+	SeqP50Ms      float64          `json:"sequential_p50_ms"`
+	SeqP99Ms      float64          `json:"sequential_p99_ms"`
 	Runs          []streamBenchRun `json:"runs"`
 }
 
@@ -114,21 +118,27 @@ func runStreamBench(scale exp.Scale, workerSweep []int, outPath string, w io.Wri
 		return err
 	}
 	want := make([]string, len(frames))
+	latMs := make([]float64, len(frames))
 	start := time.Now()
 	for i, f := range frames {
+		t0 := time.Now()
 		r, err := st.Process(context.Background(), f)
 		if err != nil {
 			return err
 		}
+		latMs[i] = float64(time.Since(t0)) / float64(time.Millisecond)
 		want[i] = r.Fingerprint()
 	}
 	seqSecs := time.Since(start).Seconds()
+	sort.Float64s(latMs)
 	doc.SequentialFPS = float64(len(frames)) / seqSecs
+	doc.SeqP50Ms = obs.Percentile(latMs, 0.50)
+	doc.SeqP99Ms = obs.Percentile(latMs, 0.99)
 	doc.DriftEvents = srv.Stats().DriftEvents
 	fmt.Fprintf(w, "Streaming throughput (Fig9 drift stream, %d frames, GOMAXPROCS=%d)\n",
 		len(frames), doc.GOMAXPROCS)
-	fmt.Fprintf(w, "  sequential Process: %8.1f frames/s  (%d drift events)\n",
-		doc.SequentialFPS, doc.DriftEvents)
+	fmt.Fprintf(w, "  sequential Process: %8.1f frames/s  p50 %.2fms  p99 %.2fms  (%d drift events)\n",
+		doc.SequentialFPS, doc.SeqP50Ms, doc.SeqP99Ms, doc.DriftEvents)
 
 	for _, workers := range workerSweep {
 		srv, err := newStreamServer(p)

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"sync"
@@ -27,6 +28,10 @@ import (
 type app struct {
 	opts  func() []odin.Option
 	store *checkpoint.DirStore // nil: no durable checkpoints
+	// pprofOn mounts net/http/pprof under /debug/pprof/ (the -pprof flag).
+	// Opt-in: profiling endpoints expose heap contents and should not ride
+	// along on every deployment.
+	pprofOn bool
 
 	ckptMu sync.RWMutex
 
@@ -83,7 +88,57 @@ func (a *app) handler() http.Handler {
 	mux.HandleFunc("POST /v1/checkpoint", a.handleCheckpointSave)
 	mux.HandleFunc("GET /v1/checkpoint", a.handleCheckpointDownload)
 	mux.HandleFunc("POST /v1/restore", a.handleRestore)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /v1/events", a.handleEvents)
+	if a.pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// handleMetrics serves the Prometheus text exposition. 404 when the server
+// runs without observability (-obs=false) so scrapers fail loudly instead
+// of graphing an empty page.
+func (a *app) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	srv := a.server()
+	if !srv.ObservabilityEnabled() {
+		writeErr(w, http.StatusNotFound, odin.ErrObservabilityDisabled)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := srv.WriteMetrics(w); err != nil {
+		a.logger.Printf("metrics write failed: %v", err)
+	}
+}
+
+// handleEvents returns the recent lifecycle events, oldest first. ?n=K
+// caps the count (default: the whole retained ring).
+func (a *app) handleEvents(w http.ResponseWriter, r *http.Request) {
+	srv := a.server()
+	if !srv.ObservabilityEnabled() {
+		writeErr(w, http.StatusNotFound, odin.ErrObservabilityDisabled)
+		return
+	}
+	n := 0
+	if s := r.URL.Query().Get("n"); s != "" {
+		var err error
+		n, err = strconv.Atoi(s)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid n %q", s))
+			return
+		}
+	}
+	evs := srv.RecentEvents(n)
+	if evs == nil {
+		evs = []odin.Event{}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Events []odin.Event `json:"events"`
+	}{evs})
 }
 
 func (a *app) server() *odin.Server {

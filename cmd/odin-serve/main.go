@@ -21,6 +21,9 @@
 //	POST   /v1/checkpoint                   -> {"path"}
 //	GET    /v1/checkpoint                   -> raw envelope bytes
 //	POST   /v1/restore                      {"path"} (empty = store latest)
+//	GET    /metrics                         Prometheus text exposition (-obs)
+//	GET    /v1/events?n=50                  recent lifecycle events (-obs)
+//	GET    /debug/pprof/                    net/http/pprof (only with -pprof)
 package main
 
 import (
@@ -58,13 +61,15 @@ func main() {
 	bootFrames := flag.Int("bootstrap-frames", 200, "frames in the bootstrap set (ignored when restoring)")
 	bootEpochs := flag.Int("bootstrap-epochs", 3, "DA-GAN bootstrap epochs (ignored when restoring)")
 	baseEpochs := flag.Int("baseline-epochs", 4, "baseline detector epochs (ignored when restoring)")
+	obsOn := flag.Bool("obs", true, "enable the observability layer (/metrics and /v1/events)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "odin-serve: ", log.LstdFlags)
 	if err := run(*addr, *storeDir, *retain, *restoreFrom, *seed, *policyFlag,
 		*backendFlag, *trainAsync, *dispatcher, *labelDelay, *maxModels,
 		*minScore, *bootFrames, *bootEpochs, *baseEpochs,
-		*maxQueue, *dropPolicy, *adaptive, logger); err != nil {
+		*maxQueue, *dropPolicy, *adaptive, *obsOn, *pprofOn, logger); err != nil {
 		logger.Fatal(err)
 	}
 }
@@ -73,7 +78,7 @@ func run(addr, storeDir string, retain int, restoreFrom string, seed uint64,
 	policyFlag, backendFlag string, trainAsync, dispatcher bool,
 	labelDelay, maxModels int, minScore float64,
 	bootFrames, bootEpochs, baseEpochs int,
-	maxQueue int, dropPolicyFlag string, adaptive bool, logger *log.Logger) error {
+	maxQueue int, dropPolicyFlag string, adaptive, obsOn, pprofOn bool, logger *log.Logger) error {
 
 	policy, err := odin.ParsePolicy(policyFlag)
 	if err != nil {
@@ -102,6 +107,7 @@ func run(addr, storeDir string, retain int, restoreFrom string, seed uint64,
 			odin.WithBackend(backend),
 			odin.WithTrainAsync(trainAsync),
 			odin.WithDispatcher(dispatcher),
+			odin.WithObservability(obsOn),
 		}
 		if labelDelay > 0 {
 			o = append(o, odin.WithLabelDelay(labelDelay))
@@ -132,6 +138,7 @@ func run(addr, storeDir string, retain int, restoreFrom string, seed uint64,
 	}
 
 	a := newApp(srv, store, opts, logger)
+	a.pprofOn = pprofOn
 	httpSrv := &http.Server{Addr: addr, Handler: a.handler()}
 
 	errCh := make(chan error, 1)

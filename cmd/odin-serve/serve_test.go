@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log"
 	"net/http"
@@ -407,5 +408,130 @@ func TestServeShutdownCheckpoints(t *testing.T) {
 	defer restored.Close()
 	if got := restored.Stats().Frames; got != len(frames) {
 		t.Fatalf("restored server saw %d frames, want %d", got, len(frames))
+	}
+}
+
+// TestServeObservabilityEndpoints exercises /metrics, /v1/events and the
+// pprof gate: an instrumented server exposes the Prometheus page and the
+// lifecycle event ring after traffic, an uninstrumented one 404s both, and
+// /debug/pprof/ exists only when opted in.
+func TestServeObservabilityEndpoints(t *testing.T) {
+	const seed, perPhase = 7, 50
+
+	srv := quickServer(t, seed, odin.WithObservability(true))
+	a := newApp(srv, nil, func() []odin.Option { return nil }, quietLogger())
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+	client := ts.Client()
+
+	sessID := openSession(t, client, ts.URL, 2)
+	feedHTTP(t, client, ts.URL, sessID, driftFrames(srv, perPhase), 10)
+
+	// /metrics: Prometheus text exposition with the core families present
+	// and the frame counter reflecting the traffic above.
+	resp, err := client.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("GET /metrics content type %q", ct)
+	}
+	page := string(body)
+	for _, want := range []string{
+		"# TYPE odin_frames_total counter",
+		"# TYPE odin_stage_seconds histogram",
+		"# TYPE odin_events_total counter",
+		"odin_fidelity_frames_total{fidelity=\"full\"}",
+		"odin_stage_seconds_bucket{stage=\"project\",le=\"+Inf\"}",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("GET /metrics page missing %q", want)
+		}
+	}
+	wantFrames := fmt.Sprintf("odin_frames_total %d", srv.Stats().Frames)
+	if !strings.Contains(page, wantFrames) {
+		t.Errorf("GET /metrics page missing %q", wantFrames)
+	}
+
+	// /v1/events: the Night→Day shift above must have produced drift and
+	// recovery events, oldest first with monotone sequence numbers.
+	var events struct {
+		Events []odin.Event `json:"events"`
+	}
+	resp, err = client.Get(ts.URL + "/v1/events?n=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if srv.Stats().DriftEvents > 0 && len(events.Events) == 0 {
+		t.Fatal("drift occurred but /v1/events is empty")
+	}
+	kinds := make(map[string]int)
+	for i, ev := range events.Events {
+		kinds[ev.Kind]++
+		if i > 0 && ev.Seq <= events.Events[i-1].Seq {
+			t.Fatalf("event seqs not increasing: %d then %d", events.Events[i-1].Seq, ev.Seq)
+		}
+	}
+	if srv.Stats().DriftEvents > 0 && kinds[odin.EvDrift] == 0 {
+		t.Errorf("no %q events after drift; kinds: %v", odin.EvDrift, kinds)
+	}
+
+	// Bad ?n= is a 400.
+	resp, err = client.Get(ts.URL + "/v1/events?n=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("GET /v1/events?n=bogus = %d, want 400", resp.StatusCode)
+	}
+
+	// pprof is opt-in: absent by default, mounted with the flag.
+	resp, err = client.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/pprof/ without -pprof = %d, want 404", resp.StatusCode)
+	}
+	a.pprofOn = true
+	tsProf := httptest.NewServer(a.handler())
+	defer tsProf.Close()
+	resp, err = tsProf.Client().Get(tsProf.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ with -pprof = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServeObservabilityDisabled: a server built without WithObservability
+// 404s both observability endpoints.
+func TestServeObservabilityDisabled(t *testing.T) {
+	srv := quickServer(t, 11)
+	a := newApp(srv, nil, func() []odin.Option { return nil }, quietLogger())
+	ts := httptest.NewServer(a.handler())
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/v1/events"} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET %s on uninstrumented server = %d, want 404", path, resp.StatusCode)
+		}
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -42,6 +43,7 @@ func main() {
 		odin.WithTrainAsync(true),
 		odin.WithMaxQueue(64),                              // bounded admission: overload is explicit
 		odin.WithAdaptiveFidelity(odin.AdaptiveFidelity{}), // default watermarks + hysteresis
+		odin.WithObservability(true),                       // metrics + lifecycle events, ~free
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -135,4 +137,25 @@ func main() {
 	fmt.Printf("\nserver fidelity ledger: %d full + %d lite + %d count + %d skip, %d dropped\n",
 		s.FullFrames, s.LiteFrames, s.CountFrames, s.SkipFrames, s.Dropped)
 	fmt.Println("every offered frame is accounted for: admission is bounded and explicit, loss is never silent.")
+
+	// The same story, as the monitoring stack would see it: the Prometheus
+	// exposition odin-serve exports at /metrics, filtered to the QoS and
+	// fidelity families, plus the tail of the lifecycle-event ring.
+	var page strings.Builder
+	if err := srv.WriteMetrics(&page); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmetrics snapshot after the burst (filtered /metrics exposition):")
+	for _, line := range strings.Split(page.String(), "\n") {
+		if strings.HasPrefix(line, "odin_fidelity_frames_total") ||
+			strings.HasPrefix(line, "odin_qos_") ||
+			strings.HasPrefix(line, "odin_events_total") {
+			fmt.Println("  " + line)
+		}
+	}
+	events := srv.RecentEvents(6)
+	fmt.Printf("last %d lifecycle events:\n", len(events))
+	for _, e := range events {
+		fmt.Printf("  #%d %-18s stream=%-6q %s\n", e.Seq, e.Kind, e.Stream, e.Detail)
+	}
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"odin/internal/cluster"
 	"odin/internal/detect"
 	"odin/internal/gan"
+	"odin/internal/obs"
 	"odin/internal/qos"
 	"odin/internal/synth"
 )
@@ -161,6 +163,11 @@ type Odin struct {
 	// to sink, so training never runs under mu.
 	pendingJobs []TrainJob
 	sink        func([]TrainJob)
+
+	// obsv is the optional observability hook (stage timings, lifecycle
+	// events). Strictly observational: nothing read from it feeds back into
+	// processing. Atomic so hot-path loads never contend with mu.
+	obsv atomic.Pointer[obs.Observer]
 }
 
 // New assembles ODIN from a trained projector and a baseline heavyweight
@@ -190,6 +197,19 @@ func (o *Odin) SetTrainSink(fn func([]TrainJob)) {
 	o.mu.Unlock()
 }
 
+// SetObserver installs (or, with nil, removes) the observability hook.
+// Instrumentation is strictly observational — installing an observer must
+// not change any Result. Install before serving to capture every frame.
+func (o *Odin) SetObserver(ob *obs.Observer) {
+	o.obsv.Store(ob)
+}
+
+// observer returns the current observability hook (nil when disabled; every
+// obs method is nil-receiver-safe).
+func (o *Odin) observer() *obs.Observer {
+	return o.obsv.Load()
+}
+
 // FinishJob lands a deferred training job: the trained model is swapped in
 // atomically under the pipeline lock (bumping the model generation), or —
 // when training failed, the model is nil, or the cluster was evicted while
@@ -198,8 +218,21 @@ func (o *Odin) SetTrainSink(fn func([]TrainJob)) {
 // Returns whether the model was installed.
 func (o *Odin) FinishJob(job TrainJob, m *Model, dur time.Duration, trainErr error) bool {
 	o.mu.Lock()
-	defer o.mu.Unlock()
-	return o.Manager.finishJob(job, m, dur, trainErr != nil)
+	installed := o.Manager.finishJob(job, m, dur, trainErr != nil)
+	gen := int(o.Manager.Gen())
+	o.mu.Unlock()
+	if ob := o.observer(); ob != nil {
+		switch {
+		case installed:
+			ob.Event(obs.EvRecoverySwapped, "", job.ClusterID, gen,
+				fmt.Sprintf("build %.1fms", dur.Seconds()*1e3))
+		case trainErr != nil:
+			ob.Event(obs.EvRecoveryFailed, "", job.ClusterID, gen, trainErr.Error())
+		default:
+			ob.Event(obs.EvRecoveryRollback, "", job.ClusterID, gen, "")
+		}
+	}
+	return installed
 }
 
 // PendingRecoveries returns the number of scheduled training jobs whose
@@ -305,6 +338,10 @@ func (o *Odin) submitJobs(jobs []TrainJob) {
 	if len(jobs) == 0 {
 		return
 	}
+	ob := o.observer()
+	for i := range jobs {
+		ob.Event(obs.EvRecoveryEnqueued, "", jobs[i].ClusterID, -1, "")
+	}
 	o.mu.Lock()
 	sink := o.sink
 	o.mu.Unlock()
@@ -315,7 +352,10 @@ func (o *Odin) submitJobs(jobs []TrainJob) {
 	for _, job := range jobs {
 		start := time.Now()
 		m := o.Manager.BuildModel(job)
-		o.FinishJob(job, m, time.Since(start), nil)
+		dur := time.Since(start)
+		ob.Event(obs.EvRecoveryScratch, "", job.ClusterID, -1, "inline")
+		ob.BuildSeconds("scratch", dur)
+		o.FinishJob(job, m, dur, nil)
 	}
 }
 
@@ -368,6 +408,10 @@ func (o *Odin) advanceLocked(f *synth.Frame, z []float64, fid qos.Fidelity) Plan
 		res.Drift = a.Drift
 		seeds := o.takeOutliers(a.Drift.Cluster)
 		o.pendingJobs = append(o.pendingJobs, o.Manager.OnDrift(a.Drift, seeds, o.stats.Frames)...)
+		if ob := o.observer(); ob != nil {
+			ob.Event(obs.EvDrift, "", a.Drift.Cluster.ID, int(o.Manager.Gen()),
+				fmt.Sprintf("%s/%d seeds", a.Drift.Cluster.Label, a.Drift.NumSeeds))
+		}
 	}
 	o.pendingJobs = append(o.pendingJobs, o.Manager.MaturePending(o.stats.Frames)...)
 	// Stamp each freshly scheduled job with its cluster's regime signature
@@ -478,9 +522,16 @@ func (mm *ModelManager) selectFor(z []float64, clusters *cluster.Set, sel Select
 
 // Process runs one frame through the pipeline: Project → Advance → Execute.
 func (o *Odin) Process(f *synth.Frame) Result {
+	ob := o.observer()
+	t0 := ob.Now()
 	z := o.Project(f)
+	ob.Stage(obs.StageProject, t0, 1)
+	t0 = ob.Now()
 	p := o.Advance(f, z)
+	ob.Stage(obs.StageAdvance, t0, 1)
+	t0 = ob.Now()
 	res := o.Execute(f, p)
+	ob.Stage(obs.StageDetect, t0, 1)
 	o.addSimTime(res.SimLatency)
 	return res
 }

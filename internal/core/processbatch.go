@@ -3,6 +3,7 @@ package core
 import (
 	"odin/internal/detect"
 	"odin/internal/gan"
+	"odin/internal/obs"
 	"odin/internal/qos"
 	"odin/internal/synth"
 	"odin/internal/tensor"
@@ -62,6 +63,8 @@ func (o *Odin) ProcessBatchFid(frames []*synth.Frame, workers int, fids []qos.Fi
 	// Stage 3 — execute (parallel, pure): group single-model frames by
 	// model for batched detection, shard the ensemble frames. Count-only
 	// plans take the counting kernel instead.
+	ob := o.observer()
+	t0 := ob.Now()
 	results := make([]Result, n)
 	if fids == nil {
 		o.executeBatched(frames, plans, results, workers, nil)
@@ -77,6 +80,7 @@ func (o *Odin) ProcessBatchFid(frames []*synth.Frame, workers int, fids []qos.Fi
 		o.executeBatched(frames, plans, results, workers, detIdx)
 		o.executeCount(frames, plans, results, workers, cntIdx)
 	}
+	ob.Stage(obs.StageDetect, t0, n)
 
 	// Simulated time accumulates in frame order so the sharded and
 	// sequential paths report bit-identical stats.
@@ -103,8 +107,12 @@ func (o *Odin) advanceAll(frames []*synth.Frame, workers int) []Plan {
 // all full). Skip frames are excluded from projection and short-circuit
 // inside advanceLocked, so a shed frame costs only its result slot.
 func (o *Odin) advanceAllFid(frames []*synth.Frame, workers int, fids []qos.Fidelity) []Plan {
+	ob := o.observer()
+	t0 := ob.Now()
 	latents := o.projectAllFid(frames, workers, fids)
+	ob.Stage(obs.StageProject, t0, len(frames))
 	plans := make([]Plan, len(frames))
+	t0 = ob.Now()
 	o.mu.Lock()
 	for i, f := range frames {
 		fid := qos.Full
@@ -116,6 +124,10 @@ func (o *Odin) advanceAllFid(frames []*synth.Frame, workers int, fids []qos.Fide
 	jobs := o.pendingJobs
 	o.pendingJobs = nil
 	o.mu.Unlock()
+	// The advance sample includes lock wait by design: this is the
+	// pipeline's single serialization point, and queueing behind it is
+	// exactly what the stage metric should surface.
+	ob.Stage(obs.StageAdvance, t0, len(frames))
 	o.submitJobs(jobs)
 	return plans
 }

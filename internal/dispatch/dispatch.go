@@ -10,9 +10,11 @@ import (
 	"context"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"odin/internal/core"
+	"odin/internal/obs"
 	"odin/internal/qos"
 	"odin/internal/synth"
 )
@@ -66,6 +68,7 @@ type window struct {
 	frames []*synth.Frame
 	fids   []qos.Fidelity     // nil = full fidelity
 	res    chan []core.Result // buffered 1: flushes never block on a consumer
+	at     time.Time          // submit time; zero unless an observer is attached
 }
 
 // Stats is batcher telemetry.
@@ -123,6 +126,10 @@ type Batcher struct {
 	lingerArmed   bool   // a live timer exists for the current timerGen
 	rrNext        uint64 // session id the weighted round-robin resumes at
 	stats         Stats
+
+	// obsv is the optional observability hook: merge widths and
+	// window-assembly waits. Strictly observational.
+	obsv atomic.Pointer[obs.Observer]
 }
 
 // NewBatcher creates a batcher over the pipeline.
@@ -134,6 +141,12 @@ func NewBatcher(pipe Pipeline, cfg Config) *Batcher {
 		cfg:      cfg.withDefaults(),
 		sessions: make(map[uint64]bool),
 	}
+}
+
+// SetObserver installs (or, with nil, removes) the observability hook.
+// Install before serving so every window's assembly wait is stamped.
+func (b *Batcher) SetObserver(ob *obs.Observer) {
+	b.obsv.Store(ob)
 }
 
 // Stats returns a snapshot of the batcher telemetry.
@@ -220,6 +233,9 @@ func (s *Session) SubmitFid(ctx context.Context, frames []*synth.Frame, fids []q
 	}
 	b := s.b
 	w := &window{sessID: s.id, weight: s.weight, frames: frames, fids: fids, res: make(chan []core.Result, 1)}
+	if b.obsv.Load() != nil {
+		w.at = time.Now()
+	}
 	b.mu.Lock()
 	b.pending = append(b.pending, w)
 	b.pendingFrames += len(frames)
@@ -432,6 +448,14 @@ func (b *Batcher) runBatch(ws []*window) {
 	for _, w := range ws {
 		total += len(w.frames)
 		degraded = degraded || w.fids != nil
+	}
+	if ob := b.obsv.Load(); ob != nil {
+		ob.MergeWindows(len(ws))
+		for _, w := range ws {
+			if !w.at.IsZero() {
+				ob.StageDur(obs.StageAssembly, time.Since(w.at), len(w.frames))
+			}
+		}
 	}
 	merged := make([]*synth.Frame, 0, total)
 	for _, w := range ws {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"odin/internal/core"
+	"odin/internal/obs"
 	"odin/internal/registry"
 )
 
@@ -93,6 +95,10 @@ type Trainer struct {
 	wake    chan struct{}
 	done    chan struct{}
 	closing chan struct{}
+
+	// obsv is the optional observability hook: recovery-path lifecycle
+	// events and build-duration histograms. Strictly observational.
+	obsv atomic.Pointer[obs.Observer]
 }
 
 // NewTrainer starts a trainer over the pipeline and installs itself as the
@@ -143,6 +149,24 @@ func (t *Trainer) SetBuildFrom(fn func(core.TrainJob, *core.Model) (*core.Model,
 	t.mu.Unlock()
 }
 
+// SetObserver installs (or, with nil, removes) the observability hook.
+func (t *Trainer) SetObserver(ob *obs.Observer) {
+	t.obsv.Store(ob)
+}
+
+// observer returns the current hook (nil when disabled) plus the registry
+// source label naming this pipeline in events.
+func (t *Trainer) observer() (*obs.Observer, string) {
+	ob := t.obsv.Load()
+	if ob == nil {
+		return nil, ""
+	}
+	t.mu.Lock()
+	src := t.source
+	t.mu.Unlock()
+	return ob, src
+}
+
 // Stats returns a snapshot of the trainer telemetry.
 func (t *Trainer) Stats() TrainerStats {
 	t.mu.Lock()
@@ -162,7 +186,9 @@ func (t *Trainer) Enqueue(jobs []core.TrainJob) {
 	if t.closed {
 		t.stats.Dropped += len(jobs)
 		t.mu.Unlock()
+		ob, src := t.observer()
 		for _, job := range jobs {
+			ob.Event(obs.EvRecoveryDropped, src, job.ClusterID, -1, "trainer closed")
 			t.pipe.FinishJob(job, nil, 0, ErrTrainerClosed)
 		}
 		return
@@ -211,8 +237,10 @@ func (t *Trainer) loop() {
 // pipeline's outstanding-recovery accounting stays balanced.
 func (t *Trainer) runJob(q queuedJob) {
 	job := q.job
+	ob, src := t.observer()
 	switch q.res.Outcome {
 	case registry.OutcomeAdopt:
+		ob.Event(obs.EvRecoveryAdopted, src, job.ClusterID, -1, "fleet model adopted")
 		t.finish(job, adoptModel(q.res.Model, job), 0, nil, &t.stats.Adopted)
 
 	case registry.OutcomeCoalesce:
@@ -220,6 +248,7 @@ func (t *Trainer) runJob(q queuedJob) {
 		switch {
 		case errors.Is(err, registry.ErrCanceled):
 			// Trainer is closing: drop the job like Close drops queued ones.
+			ob.Event(obs.EvRecoveryDropped, src, job.ClusterID, -1, "coalesce canceled on close")
 			t.pipe.FinishJob(job, nil, 0, ErrTrainerClosed)
 			t.mu.Lock()
 			t.stats.Dropped++
@@ -228,13 +257,17 @@ func (t *Trainer) runJob(q queuedJob) {
 			// Builder aborted; fall back to our own scratch build.
 			t.runScratch(job, nil)
 		default:
+			ob.Event(obs.EvRecoveryCoalesced, src, job.ClusterID, -1, "joined in-flight fleet build")
 			t.finish(job, adoptModel(m, job), 0, nil, &t.stats.Coalesced)
 		}
 
 	case registry.OutcomeWarm:
 		start := time.Now()
 		m, err := t.buildFrom(job, q.res.Model)
-		t.finish(job, m, time.Since(start), err, &t.stats.Warm)
+		dur := time.Since(start)
+		ob.Event(obs.EvRecoveryWarm, src, job.ClusterID, -1, "warm-started from fleet model")
+		ob.BuildSeconds("warm", dur)
+		t.finish(job, m, dur, err, &t.stats.Warm)
 
 	case registry.OutcomeMiss:
 		t.runScratch(job, q.res.Claim)
@@ -252,6 +285,7 @@ func (t *Trainer) runJob(q queuedJob) {
 func (t *Trainer) runScratch(job core.TrainJob, claim *registry.Claim) {
 	start := time.Now()
 	m, err := t.build(job)
+	dur := time.Since(start)
 	if claim != nil {
 		if err != nil || m == nil {
 			claim.Abort()
@@ -259,7 +293,10 @@ func (t *Trainer) runScratch(job core.TrainJob, claim *registry.Claim) {
 			defer func() { claim.Publish(m, t.pipe.ModelGen()) }()
 		}
 	}
-	t.finish(job, m, time.Since(start), err, &t.stats.Scratch)
+	ob, src := t.observer()
+	ob.Event(obs.EvRecoveryScratch, src, job.ClusterID, -1, "")
+	ob.BuildSeconds("scratch", dur)
+	t.finish(job, m, dur, err, &t.stats.Scratch)
 }
 
 // finish swaps the model in via FinishJob and books the outcome: Trained
@@ -351,10 +388,12 @@ func (t *Trainer) Close() {
 	t.stats.Dropped += len(dropped)
 	t.mu.Unlock()
 	close(t.closing) // unblocks a coalesce wait in flight
+	ob, src := t.observer()
 	for _, q := range dropped {
 		if q.res.Claim != nil {
 			q.res.Claim.Abort()
 		}
+		ob.Event(obs.EvRecoveryDropped, src, q.job.ClusterID, -1, "trainer closed")
 		t.pipe.FinishJob(q.job, nil, 0, ErrTrainerClosed)
 	}
 	select {

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram safe for concurrent Observe. The
+// bucket layout is frozen at construction, so the hot path is one linear
+// scan over ~30 float compares plus three atomic adds — no allocation, no
+// locking. Quantiles come from the bucket counts (Quantile, resolution =
+// bucket width); for exact quantiles over raw samples use Percentile.
+//
+// The zero value is unusable; obtain one from NewHistogram or
+// Registry.Histogram.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // math.Float64bits, CAS-add
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds.
+// Nil or empty bounds select DefLatencyBounds.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBounds()
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// DefLatencyBounds is the default latency bucket layout: exponential
+// doubling from 1µs to ~8.4s (24 finite buckets), matching the dynamic
+// range between a single blocked-kernel frame and a full inline training
+// stall.
+func DefLatencyBounds() []float64 {
+	bounds := make([]float64, 24)
+	v := 1e-6
+	for i := range bounds {
+		bounds[i] = v
+		v *= 2
+	}
+	return bounds
+}
+
+// LinearBounds returns n ascending bounds start, start+step, ... — used for
+// small-integer distributions such as merge widths.
+func LinearBounds(start, step float64, n int) []float64 {
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = start + float64(i)*step
+	}
+	return bounds
+}
+
+// Observe records one sample. Allocation-free and safe for concurrent use.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observed samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot returns a consistent-enough copy of the bucket counts for
+// exposition: each bucket is read atomically; cross-bucket skew is bounded
+// by in-flight Observes and is the standard Prometheus trade-off.
+func (h *Histogram) snapshot() []uint64 {
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return counts
+}
+
+// Quantile returns the p-quantile (0..1) estimated from the bucket counts
+// by nearest rank: the upper bound of the bucket containing the ranked
+// sample (the largest finite bound for overflow samples). Returns 0 for an
+// empty histogram.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h == nil {
+		return 0
+	}
+	counts := h.snapshot()
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, c := range counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.bounds[len(h.bounds)-1] // overflow bucket: clamp
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Percentile returns the exact p-quantile (0..1) of sorted samples by
+// nearest rank — the shared implementation of the quantile math the bench
+// harnesses previously hand-rolled. The input must be sorted ascending.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"odin/internal/synth"
 )
@@ -66,6 +67,11 @@ type Entry struct {
 	Frame *synth.Frame
 	Seq   int
 	DropN int
+	// At is the frame's admission time, stamped only when the queue was
+	// built with StampArrivals (observability on) — the consumer derives
+	// the queue-wait stage metric from it. Zero otherwise, so the default
+	// path pays no clock read.
+	At time.Time
 }
 
 // Queue is the bounded admission queue in front of a Stream.Run session.
@@ -82,6 +88,7 @@ type Queue struct {
 	seq      int
 	dropped  uint64
 	rejected uint64
+	stamp    bool // stamp Entry.At at admission (observability)
 
 	arrive chan struct{} // pulsed when entries are added or the queue closes
 	space  chan struct{} // pulsed when frames leave or the queue closes
@@ -98,6 +105,15 @@ func NewQueue(capacity int, policy DropPolicy) *Queue {
 		arrive:   make(chan struct{}, 1),
 		space:    make(chan struct{}, 1),
 	}
+}
+
+// StampArrivals makes the queue record each admitted frame's arrival time
+// in Entry.At, enabling the consumer's queue-wait metric. Call before any
+// Push; off by default so the uninstrumented path never reads the clock.
+func (q *Queue) StampArrivals(on bool) {
+	q.mu.Lock()
+	q.stamp = on
+	q.mu.Unlock()
 }
 
 func notify(ch chan struct{}) {
@@ -164,7 +180,11 @@ func (q *Queue) TryPush(f *synth.Frame) bool {
 // remains it also cascades the space signal so other blocked pushers
 // re-check (one Pop can free room for several).
 func (q *Queue) pushLocked(f *synth.Frame) {
-	q.entries = append(q.entries, Entry{Frame: f, Seq: q.nextSeqLocked()})
+	e := Entry{Frame: f, Seq: q.nextSeqLocked()}
+	if q.stamp {
+		e.At = time.Now()
+	}
+	q.entries = append(q.entries, e)
 	q.frames++
 	if q.frames < q.capacity {
 		notify(q.space)

@@ -1,0 +1,209 @@
+package odin
+
+import (
+	"errors"
+	"io"
+
+	"odin/internal/obs"
+)
+
+// This file is the public face of the unified observability layer
+// (WithObservability): Prometheus-text metrics via WriteMetrics, the
+// structured lifecycle-event ring via RecentEvents, and the re-exported
+// event vocabulary. The instrumentation itself lives in internal/obs and
+// is threaded through the core pipeline, the fleet dispatcher, the async
+// trainer and the QoS admission path; see DESIGN.md §12 for the overhead
+// budget and the determinism contract (results are bit-identical with
+// observability on or off).
+
+// ErrObservabilityDisabled is returned by WriteMetrics on a server built
+// without WithObservability.
+var ErrObservabilityDisabled = errors.New("odin: observability disabled (WithObservability unset)")
+
+// Event is one structured lifecycle event: drift detected, a recovery
+// milestone, a fidelity transition, or a checkpoint save/restore. Seq is a
+// monotone per-server sequence number; Cluster and Gen are -1 when not
+// applicable.
+type Event = obs.Event
+
+// Lifecycle event kinds, as they appear in Event.Kind and in the
+// odin_events_total{kind=...} metric.
+const (
+	EvDrift             = obs.EvDrift
+	EvRecoveryEnqueued  = obs.EvRecoveryEnqueued
+	EvRecoveryScratch   = obs.EvRecoveryScratch
+	EvRecoveryWarm      = obs.EvRecoveryWarm
+	EvRecoveryAdopted   = obs.EvRecoveryAdopted
+	EvRecoveryCoalesced = obs.EvRecoveryCoalesced
+	EvRecoverySwapped   = obs.EvRecoverySwapped
+	EvRecoveryRollback  = obs.EvRecoveryRollback
+	EvRecoveryFailed    = obs.EvRecoveryFailed
+	EvRecoveryDropped   = obs.EvRecoveryDropped
+	EvFidelityDegrade   = obs.EvFidelityDegrade
+	EvFidelityRestore   = obs.EvFidelityRestore
+	EvCheckpointSave    = obs.EvCheckpointSave
+	EvCheckpointRestore = obs.EvCheckpointRestore
+)
+
+// ObservabilityEnabled reports whether the server was built
+// WithObservability.
+func (s *Server) ObservabilityEnabled() bool { return s.obs != nil }
+
+// WriteMetrics renders every registered metric in the Prometheus text
+// exposition format — the payload odin-serve exposes at /metrics. Output
+// is sorted (families and series), so successive scrapes differ only in
+// values. Safe for concurrent use with serving; a scrape never blocks the
+// frame hot path (its metrics are plain atomics). Returns
+// ErrObservabilityDisabled on a server built without WithObservability.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	if s.obs == nil {
+		return ErrObservabilityDisabled
+	}
+	return s.obs.Registry().WritePrometheus(w)
+}
+
+// RecentEvents returns up to n recent lifecycle events, oldest first
+// (n ≤ 0 returns the whole retained ring; the ring keeps the latest 256).
+// Nil on a server built without WithObservability.
+func (s *Server) RecentEvents(n int) []Event {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.Events().Recent(n)
+}
+
+// registerServerMetrics exports the counters the serving stack already
+// maintains under its own locks (pipeline Stats, trainer/registry/dispatch
+// telemetry) as scrape-time callbacks — no double bookkeeping on the hot
+// path. Every family is registered up front, reading zero while its
+// subsystem is absent, so the exposition's family set is stable from the
+// first scrape (and golden-testable).
+//
+// Lock order: a scrape holds the metric registry lock while the callbacks
+// take s.mu (and the pipeline lock) — safe because no code path acquires
+// them in the opposite order (hot-path metric updates are lock-free
+// atomics).
+func (s *Server) registerServerMetrics() {
+	reg := s.obs.Registry()
+	stat := func(f func(Stats) float64) func() float64 {
+		return func() float64 { return f(s.Stats()) }
+	}
+
+	// Pipeline ledger (core Stats).
+	reg.CounterFunc("odin_frames_total",
+		"Frames processed by the drift-aware pipeline.",
+		stat(func(st Stats) float64 { return float64(st.Frames) }))
+	reg.CounterFunc("odin_outliers_total",
+		"Frames flagged as outliers by the drift detector.",
+		stat(func(st Stats) float64 { return float64(st.Outliers) }))
+	reg.CounterFunc("odin_drift_events_total",
+		"Drift events raised (outlier clusters crossing the drift threshold).",
+		stat(func(st Stats) float64 { return float64(st.DriftEvents) }))
+	reg.CounterFunc("odin_dropped_frames_total",
+		"Frames shed by admission-queue drop policies, as ledgered by the pipeline.",
+		stat(func(st Stats) float64 { return float64(st.Dropped) }))
+	reg.CounterFunc("odin_sim_gpu_seconds_total",
+		"Simulated GPU seconds consumed by detection.",
+		stat(func(st Stats) float64 { return st.SimTime }))
+	for _, f := range []struct {
+		fid string
+		get func(Stats) float64
+	}{
+		{"full", func(st Stats) float64 { return float64(st.FullFrames) }},
+		{"lite", func(st Stats) float64 { return float64(st.LiteFrames) }},
+		{"count", func(st Stats) float64 { return float64(st.CountFrames) }},
+		{"skip", func(st Stats) float64 { return float64(st.SkipFrames) }},
+	} {
+		reg.CounterFunc("odin_fidelity_frames_total",
+			"Frames served, by the fidelity that served them.",
+			stat(f.get), obs.Label{Key: "fidelity", Value: f.fid})
+	}
+
+	// Model-set gauges.
+	reg.GaugeFunc("odin_model_generation",
+		"Model-set generation (increments on every trained-model swap).",
+		func() float64 { return float64(s.ModelGen()) })
+	reg.GaugeFunc("odin_resident_models",
+		"Resident specialized models.",
+		func() float64 { return float64(s.NumModels()) })
+	reg.GaugeFunc("odin_clusters",
+		"Discovered concept clusters.",
+		func() float64 { return float64(s.NumClusters()) })
+	reg.GaugeFunc("odin_pending_recoveries",
+		"Drift recoveries scheduled but not yet swapped in (async training).",
+		func() float64 { return float64(s.PendingRecoveries()) })
+	reg.GaugeFunc("odin_model_memory_mb",
+		"Simulated resident model memory in MB.",
+		s.MemoryMB)
+
+	// Async trainer outcomes.
+	for _, o := range []struct {
+		outcome string
+		get     func(TrainerStats) float64
+	}{
+		{"scratch", func(ts TrainerStats) float64 { return float64(ts.Scratch) }},
+		{"warm", func(ts TrainerStats) float64 { return float64(ts.Warm) }},
+		{"adopted", func(ts TrainerStats) float64 { return float64(ts.Adopted) }},
+		{"coalesced", func(ts TrainerStats) float64 { return float64(ts.Coalesced) }},
+		{"failed", func(ts TrainerStats) float64 { return float64(ts.Failed) }},
+		{"dropped", func(ts TrainerStats) float64 { return float64(ts.Dropped) }},
+	} {
+		get := o.get
+		reg.CounterFunc("odin_trainer_jobs_total",
+			"Async recovery-trainer jobs by outcome.",
+			func() float64 { return get(s.TrainerStats()) },
+			obs.Label{Key: "outcome", Value: o.outcome})
+	}
+
+	// Fleet model registry.
+	reg.GaugeFunc("odin_registry_models",
+		"Models resident in the fleet registry.",
+		func() float64 { return float64(s.RegistryStats().Size) })
+	reg.GaugeFunc("odin_registry_capacity",
+		"Fleet registry capacity bound.",
+		func() float64 { return float64(s.RegistryStats().Capacity) })
+	for _, o := range []struct {
+		outcome string
+		get     func(RegistryStats) float64
+	}{
+		{"adopt", func(rs RegistryStats) float64 { return float64(rs.AdoptHits) }},
+		{"warm", func(rs RegistryStats) float64 { return float64(rs.WarmHits) }},
+		{"coalesce", func(rs RegistryStats) float64 { return float64(rs.Coalesced) }},
+		{"miss", func(rs RegistryStats) float64 { return float64(rs.Misses) }},
+	} {
+		get := o.get
+		reg.CounterFunc("odin_registry_lookups_total",
+			"Fleet registry resolutions by outcome.",
+			func() float64 { return get(s.RegistryStats()) },
+			obs.Label{Key: "outcome", Value: o.outcome})
+	}
+	reg.CounterFunc("odin_registry_published_total",
+		"Models published to the fleet registry.",
+		func() float64 { return float64(s.RegistryStats().Published) })
+	reg.CounterFunc("odin_registry_evicted_total",
+		"Fleet registry entries evicted by the LRU capacity bound.",
+		func() float64 { return float64(s.RegistryStats().Evicted) })
+
+	// Fleet dispatcher.
+	reg.CounterFunc("odin_dispatch_batches_total",
+		"Merged ProcessBatch calls issued by the fleet dispatcher.",
+		func() float64 { return float64(s.DispatchStats().Batches) })
+	reg.CounterFunc("odin_dispatch_windows_total",
+		"Session windows flushed through the fleet dispatcher.",
+		func() float64 { return float64(s.DispatchStats().Windows) })
+	reg.CounterFunc("odin_dispatch_frames_total",
+		"Frames processed through the fleet dispatcher.",
+		func() float64 { return float64(s.DispatchStats().Frames) })
+	reg.CounterFunc("odin_dispatch_partial_flushes_total",
+		"Dispatcher flushes cut by the weighted round-robin frame budget.",
+		func() float64 { return float64(s.DispatchStats().PartialFlushes) })
+	reg.GaugeFunc("odin_dispatch_max_merge",
+		"Largest number of windows merged into one dispatcher batch.",
+		func() float64 { return float64(s.DispatchStats().MaxMerge) })
+	reg.GaugeFunc("odin_dispatch_queued_windows",
+		"Windows waiting in the dispatcher assembler.",
+		func() float64 { return float64(s.DispatchStats().QueuedWindows) })
+	reg.GaugeFunc("odin_dispatch_queued_frames",
+		"Frames waiting in the dispatcher assembler.",
+		func() float64 { return float64(s.DispatchStats().QueuedFrames) })
+}

@@ -66,6 +66,8 @@ type config struct {
 	dropPolicy    qos.DropPolicy
 	dropPolicySet bool
 	adaptive      *AdaptiveFidelity
+
+	obs bool // unified observability layer (WithObservability)
 }
 
 func defaultConfig() config {
@@ -403,6 +405,26 @@ type AdaptiveFidelity struct {
 	// any worker count — the determinism contract for degraded modes
 	// (DESIGN.md §11). Nil (the default) runs the live controller.
 	Script []int
+}
+
+// WithObservability enables the unified observability layer: a metrics
+// registry scraped via Server.WriteMetrics (Prometheus text format), a
+// per-frame pipeline tracer recording per-stage latency (admission, queue
+// wait, batch assembly, projection, advance, detect, emit), and a bounded
+// ring of structured lifecycle events (drift detected, recovery
+// enqueued/adopted/warm/coalesced/swapped, fidelity transitions,
+// checkpoint save/restore) read via Server.RecentEvents.
+//
+// Instrumentation is strictly observational: results are bit-identical
+// with observability on or off at every worker count, and the hot path
+// adds no allocations (atomic counters and fixed-bucket histograms; see
+// DESIGN.md §12 for the overhead budget). Default off — a server built
+// without this option pays not even the clock reads.
+func WithObservability(on bool) Option {
+	return func(c *config) error {
+		c.obs = on
+		return nil
+	}
 }
 
 // WithAdaptiveFidelity enables load-adaptive multi-fidelity degradation on

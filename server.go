@@ -10,6 +10,7 @@ import (
 	"odin/internal/detect"
 	"odin/internal/dispatch"
 	"odin/internal/gan"
+	"odin/internal/obs"
 	"odin/internal/query"
 	"odin/internal/registry"
 	"odin/internal/synth"
@@ -54,6 +55,11 @@ type Server struct {
 	cfg   config
 	scene synth.SceneConfig
 
+	// obs is the unified observability layer (WithObservability); nil when
+	// disabled. It is set once at construction and never mutated, so reads
+	// need no lock. Every instrumented subsystem holds the same pointer.
+	obs *obs.Observer
+
 	genMu sync.Mutex
 	gen   *synth.SceneGen
 
@@ -90,12 +96,17 @@ func New(opts ...Option) (*Server, error) {
 	scene := synth.DefaultSceneConfig()
 	engine := query.NewEngine()
 	engine.SetMinScore(cfg.minScore)
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		scene:  scene,
 		gen:    synth.NewSceneGen(cfg.seed, scene),
 		engine: engine,
-	}, nil
+	}
+	if cfg.obs {
+		s.obs = obs.New(0)
+		s.registerServerMetrics()
+	}
+	return s, nil
 }
 
 // GenerateFrames renders frames from a subset's domain distribution — the
@@ -226,6 +237,7 @@ func (s *Server) assemble(dagan *gan.DAGAN, baseline *detect.GridDetector, resto
 	var reg *registry.Registry
 	if s.cfg.trainAsync {
 		trainer = dispatch.NewTrainer(pipeline)
+		trainer.SetObserver(s.obs)
 		if fr := s.cfg.fleet; fr != nil {
 			switch {
 			case fr.Registry != nil:
@@ -255,7 +267,9 @@ func (s *Server) assemble(dagan *gan.DAGAN, baseline *detect.GridDetector, resto
 			MaxLinger: s.cfg.dispatchLinger,
 			Workers:   s.cfg.workers,
 		})
+		batcher.SetObserver(s.obs)
 	}
+	pipeline.SetObserver(s.obs)
 
 	// Built-in query models: the drift-aware pipeline (sharded + batched)
 	// and the static baseline (batched forward pass).
@@ -407,6 +421,19 @@ func (s *Server) RegisterFilter(name string, fn func(*Frame) bool) {
 }
 
 // Stats returns pipeline telemetry. Before Bootstrap it is zero.
+//
+// Snapshot semantics: the snapshot is taken under the pipeline's single
+// serialization lock, so it is internally consistent — the fidelity
+// breakdown (FullFrames + LiteFrames + CountFrames + SkipFrames) always
+// sums to Frames, and Outliers/DriftEvents/SimTime belong to the same
+// instant. Every field is monotonically non-decreasing over the life of a
+// bootstrapped server. While Run sessions are active a snapshot can lag
+// the stream-side view (frames advance the pipeline before their results
+// are emitted, and drop markers are ledgered as their batch drains); at
+// quiescence — all Run sessions ended, WaitRecoveries drained — the
+// server-level counters agree exactly with the per-stream ledgers: in
+// particular Stats().Dropped equals the sum of Stream.QoS().Dropped over
+// the streams that ever ran.
 func (s *Server) Stats() Stats {
 	p, err := s.pipe()
 	if err != nil {

@@ -3,10 +3,13 @@ package odin
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"odin/internal/core"
 	"odin/internal/dispatch"
+	"odin/internal/obs"
 	"odin/internal/qos"
 	"odin/internal/query"
 )
@@ -484,6 +487,7 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 			defer stopWatch()
 			defer sess.Leave()
 		}
+		ob := st.srv.obs
 		seq := 0
 		batch := make([]*Frame, 0, st.maxBatch)
 		seqs := make([]int, 0, st.maxBatch)
@@ -503,6 +507,7 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 				}
 				batch = append(batch, f)
 			}
+			tA := ob.Now()
 		fill:
 			for len(batch) < st.maxBatch {
 				select {
@@ -515,6 +520,7 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 					break fill
 				}
 			}
+			ob.Stage(obs.StageAssembly, tA, len(batch))
 
 			var results []Result
 			if sess != nil {
@@ -535,6 +541,7 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 			if !st.deliverSubs(ctx, batch, results, seqs) {
 				return
 			}
+			tE := ob.Now()
 			for i, r := range results {
 				select {
 				case <-ctx.Done():
@@ -545,6 +552,7 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 					seq++
 				}
 			}
+			ob.Stage(obs.StageEmit, tE, len(results))
 		}
 	}()
 	return out
@@ -557,6 +565,12 @@ func (st *Stream) Run(ctx context.Context, in <-chan *Frame) <-chan StreamResult
 // interleaved — in admission order.
 func (st *Stream) runQoS(ctx context.Context, in <-chan *Frame, out chan StreamResult, p *core.Odin, sess *dispatch.Session, submitCtx context.Context, stopWatch context.CancelFunc) {
 	queue := qos.NewQueue(st.maxQueue, st.dropPol)
+	ob := st.srv.obs
+	if ob != nil {
+		// Arrival stamps feed the queue-wait stage metric; the
+		// uninstrumented path never reads the clock.
+		queue.StampArrivals(true)
+	}
 	var ctrl *qos.Controller
 	var script []int
 	subsample := 0
@@ -595,9 +609,13 @@ func (st *Stream) runQoS(ctx context.Context, in <-chan *Frame, out chan StreamR
 				if !ok {
 					return
 				}
+				// The admission sample includes any DropBlock backpressure
+				// wait — time a frame spends fighting for a queue slot.
+				t0 := ob.Now()
 				if queue.Push(ctx, st.done, f) != nil {
 					return
 				}
+				ob.Stage(obs.StageAdmission, t0, 1)
 			}
 		}
 	}()
@@ -619,6 +637,7 @@ func (st *Stream) runQoS(ctx context.Context, in <-chan *Frame, out chan StreamR
 		frames := make([]*Frame, 0, st.maxBatch)
 		fids := make([]qos.Fidelity, 0, st.maxBatch)
 		seqs := make([]int, 0, st.maxBatch)
+		prevLevel := 0
 		for {
 			entries, err := queue.Pop(ctx, st.done, st.maxBatch)
 			if err != nil {
@@ -648,6 +667,22 @@ func (st *Stream) runQoS(ctx context.Context, in <-chan *Frame, out chan StreamR
 				st.qosMu.Lock()
 				level = ctrl.Observe(float64(d+popped) / float64(c))
 				st.qosMu.Unlock()
+				if ob != nil && level != prevLevel {
+					kind := obs.EvFidelityDegrade
+					if level < prevLevel {
+						kind = obs.EvFidelityRestore
+					}
+					ob.Event(kind, st.name, -1, -1,
+						fmt.Sprintf("level %d -> %d", prevLevel, level))
+				}
+				prevLevel = level
+			}
+			if ob != nil {
+				for _, e := range entries {
+					if !e.At.IsZero() {
+						ob.StageDur(obs.StageQueueWait, time.Since(e.At), 1)
+					}
+				}
 			}
 			frames, fids, seqs = frames[:0], fids[:0], seqs[:0]
 			degraded := false
@@ -696,9 +731,12 @@ func (st *Stream) runQoS(ctx context.Context, in <-chan *Frame, out chan StreamR
 			// Dropped marker per shed frame, so every frame the session
 			// ever admitted or shed is accounted for on the out channel.
 			ri := 0
+			tE := ob.Now()
+			emitted := 0
 			for _, e := range entries {
 				if e.DropN > 0 {
 					p.AddDropped(e.DropN)
+					ob.DroppedFrames(e.DropN)
 					for k := 0; k < e.DropN; k++ {
 						select {
 						case <-ctx.Done():
@@ -706,6 +744,7 @@ func (st *Stream) runQoS(ctx context.Context, in <-chan *Frame, out chan StreamR
 						case <-st.done:
 							return
 						case out <- StreamResult{Seq: e.Seq + k, Dropped: true}:
+							emitted++
 						}
 					}
 					continue
@@ -716,9 +755,11 @@ func (st *Stream) runQoS(ctx context.Context, in <-chan *Frame, out chan StreamR
 				case <-st.done:
 					return
 				case out <- StreamResult{Seq: e.Seq, Frame: e.Frame, Result: results[ri]}:
+					emitted++
 				}
 				ri++
 			}
+			ob.Stage(obs.StageEmit, tE, emitted)
 		}
 	}()
 }
@@ -742,6 +783,7 @@ func (st *Stream) Offer(f *Frame) error {
 		return ErrNoAdmission
 	}
 	if !q.TryPush(f) {
+		st.srv.obs.RejectedFrames(1)
 		return ErrOverloaded
 	}
 	return nil
